@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Ablation: encoding optimizations.
+ *  - lower-bound shortcuts of the relation analysis (Section 6.2);
+ *  - the polarity analysis that drops closure well-foundedness
+ *    indices in want-false positions (the dominant optimization:
+ *    forcing full soundness reproduces the naive encoding's blowup).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.hpp"
+#include "kernels/sync_kernels.hpp"
+#include "litmus/generator.hpp"
+
+using namespace gpumc;
+
+namespace {
+
+struct Toggle {
+    bool useLowerBounds;
+    bool forceSoundness;
+};
+
+void
+runWith(const prog::Program &program, const cat::CatModel &model,
+        Toggle toggle, benchmark::State &state)
+{
+    int64_t clauses = 0;
+    for (auto _ : state) {
+        core::VerifierOptions options;
+        options.useLowerBounds = toggle.useLowerBounds;
+        options.forceClosureSoundness = toggle.forceSoundness;
+        options.wantWitness = false;
+        core::Verifier verifier(program, model, options);
+        core::VerificationResult result = verifier.checkSafety();
+        clauses = result.stats.get("smtClauses");
+        benchmark::DoNotOptimize(result.holds);
+    }
+    state.counters["clauses"] = static_cast<double>(clauses);
+}
+
+void
+BM_MpPtx(benchmark::State &state, Toggle toggle)
+{
+    prog::Program program = litmus::generateScaled(
+        litmus::ScaledPattern::MP, prog::Arch::Ptx,
+        static_cast<int>(state.range(0)));
+    runWith(program, bench::ptx75Model(), toggle, state);
+}
+
+void
+BM_XfBarrier(benchmark::State &state, Toggle toggle)
+{
+    prog::Program program = kernels::buildXfBarrier(
+        {2, 2}, kernels::XfVariant::Base);
+    runWith(program, bench::vulkanModel(), toggle, state);
+}
+
+void
+BM_Caslock(benchmark::State &state, Toggle toggle)
+{
+    prog::Program program = kernels::buildCaslock(
+        {2, 2}, kernels::LockVariant::Acq2Rlx);
+    runWith(program, bench::vulkanModel(), toggle, state);
+}
+
+} // namespace
+
+BENCHMARK_CAPTURE(BM_MpPtx, optimized, Toggle{true, false})
+    ->Arg(6)->Arg(10)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_MpPtx, no_lower_bounds, Toggle{false, false})
+    ->Arg(6)->Arg(10)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_MpPtx, forced_soundness, Toggle{true, true})
+    ->Arg(6)->Arg(10)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_XfBarrier, optimized, Toggle{true, false})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_XfBarrier, no_lower_bounds, Toggle{false, false})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_XfBarrier, forced_soundness, Toggle{true, true})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Caslock, optimized, Toggle{true, false})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Caslock, forced_soundness, Toggle{true, true})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Ablation: SMT backend comparison (native Z3 API vs the from-scratch
+ * CDCL solver) on representative verification queries, using
+ * google-benchmark.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.hpp"
+#include "kernels/sync_kernels.hpp"
+#include "litmus/generator.hpp"
+
+using namespace gpumc;
+
+namespace {
+
+void
+runSafety(const prog::Program &program, const cat::CatModel &model,
+          smt::BackendKind backend, benchmark::State &state)
+{
+    int64_t events = 0;
+    for (auto _ : state) {
+        core::VerifierOptions options;
+        options.backend = backend;
+        options.wantWitness = false;
+        core::Verifier verifier(program, model, options);
+        core::VerificationResult result = verifier.checkSafety();
+        events = result.stats.get("events");
+        benchmark::DoNotOptimize(result.holds);
+    }
+    state.counters["events"] = static_cast<double>(events);
+}
+
+void
+BM_MpScaled(benchmark::State &state, smt::BackendKind backend)
+{
+    prog::Program program = litmus::generateScaled(
+        litmus::ScaledPattern::MP, prog::Arch::Ptx,
+        static_cast<int>(state.range(0)));
+    runSafety(program, bench::ptx75Model(), backend, state);
+}
+
+void
+BM_IriwVulkan(benchmark::State &state, smt::BackendKind backend)
+{
+    prog::Program program = litmus::generateScaled(
+        litmus::ScaledPattern::IRIW, prog::Arch::Vulkan,
+        static_cast<int>(state.range(0)));
+    runSafety(program, bench::vulkanModel(), backend, state);
+}
+
+void
+BM_TicketlockBuggy(benchmark::State &state, smt::BackendKind backend)
+{
+    prog::Program program = kernels::buildTicketlock(
+        {2, 2}, kernels::LockVariant::Acq2Rlx);
+    runSafety(program, bench::vulkanModel(), backend, state);
+}
+
+} // namespace
+
+BENCHMARK_CAPTURE(BM_MpScaled, z3, smt::BackendKind::Z3)
+    ->Arg(4)->Arg(8)->Arg(12)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_MpScaled, builtin, smt::BackendKind::Builtin)
+    ->Arg(4)->Arg(8)->Arg(12)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_IriwVulkan, z3, smt::BackendKind::Z3)
+    ->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_IriwVulkan, builtin, smt::BackendKind::Builtin)
+    ->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_TicketlockBuggy, z3, smt::BackendKind::Z3)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_TicketlockBuggy, builtin, smt::BackendKind::Builtin)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Portability analysis (the paper's fifth contribution): run the same
+ * communication patterns under the PTX v7.5 and Vulkan models and
+ * compare what each architecture guarantees — including the Fig. 6
+ * subtlety where PTX merely leaves weak writes coherence-unordered
+ * while Vulkan declares the program racy (undefined behaviour).
+ *
+ * Run:  ./build/examples/portability
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "cat/model.hpp"
+#include "core/verifier.hpp"
+#include "litmus/generator.hpp"
+
+using namespace gpumc;
+
+namespace {
+
+struct Outcome {
+    bool reachable = false;
+    bool racy = false;
+};
+
+Outcome
+analyze(const prog::Program &program, const cat::CatModel &model)
+{
+    core::VerifierOptions options;
+    options.wantWitness = false;
+    core::Verifier verifier(program, model, options);
+    Outcome outcome;
+    outcome.reachable = verifier.checkSafety().holds;
+    if (model.hasFlaggedAxioms())
+        outcome.racy = !verifier.checkCatSpec().holds;
+    return outcome;
+}
+
+} // namespace
+
+int
+main()
+{
+    cat::CatModel ptx = cat::CatModel::fromFile(
+        std::string(GPUMC_CAT_DIR) + "/ptx-v7.5.cat");
+    cat::CatModel vulkan = cat::CatModel::fromFile(
+        std::string(GPUMC_CAT_DIR) + "/vulkan.cat");
+
+    std::printf("Porting concurrency patterns between PTX and Vulkan\n");
+    std::printf("(weak-behaviour observability per model; Vulkan also "
+                "reports data races)\n\n");
+    std::printf("%-26s %14s %14s %10s\n", "PATTERN", "PTX v7.5",
+                "Vulkan", "VK race?");
+
+    // Matched pattern variants generated for each architecture.
+    struct Row {
+        const char *display;
+        const char *ptxName;
+        const char *vkName;
+    } rows[] = {
+        {"MP, plain accesses", "mp+plain+sys+split", "mp+plain+dv+split"},
+        {"MP, relaxed atomics", "mp+rlx+sys+split", "mp+rlx+dv+split"},
+        {"MP, release/acquire", "mp+relacq+sys+split",
+         "mp+relacq+dv+split"},
+        {"SB, release/acquire", "sb+relacq+sys+split",
+         "sb+relacq+dv+split"},
+        {"SB, strongest fences", "sb+fencesc+sys+split",
+         "sb+fence+dv+split"},
+        {"CoRR, relaxed atomics", "corr+rlx+sys+split",
+         "corr+rlx+dv+split"},
+        {"CoWW via weak writes", "coww+plain+sys+split",
+         "coww+plain+dv+split"},
+        {"IRIW, release/acquire", "iriw+relacq+sys+split",
+         "iriw+relacq+dv+split"},
+    };
+
+    auto ptxSuite = litmus::generatePatternSuite(prog::Arch::Ptx, false);
+    auto vkSuite =
+        litmus::generatePatternSuite(prog::Arch::Vulkan, false);
+    auto findIn = [](const std::vector<litmus::GeneratedTest> &suite,
+                     const std::string &name)
+        -> const prog::Program * {
+        for (const litmus::GeneratedTest &t : suite) {
+            if (t.name == name)
+                return &t.program;
+        }
+        return nullptr;
+    };
+
+    for (const Row &row : rows) {
+        const prog::Program *ptxProgram = findIn(ptxSuite, row.ptxName);
+        const prog::Program *vkProgram = findIn(vkSuite, row.vkName);
+        if (!ptxProgram || !vkProgram) {
+            std::printf("%-26s (pattern missing)\n", row.display);
+            continue;
+        }
+        Outcome p = analyze(*ptxProgram, ptx);
+        Outcome v = analyze(*vkProgram, vulkan);
+        std::printf("%-26s %14s %14s %10s\n", row.display,
+                    p.reachable ? "observable" : "forbidden",
+                    v.reachable ? "observable" : "forbidden",
+                    v.racy ? "RACY" : "no");
+    }
+
+    std::printf(
+        "\nNotable portability hazards the models make precise:\n"
+        " * PTX's fence.sc restores IRIW/SB orderings; Vulkan has no\n"
+        "   sequentially-consistent order at all - code relying on SC\n"
+        "   fences cannot be ported to Vulkan directly.\n"
+        " * Weak writes to one location stay coherence-unordered in\n"
+        "   PTX (paper Fig. 6) but are a data race - undefined\n"
+        "   behaviour - under Vulkan.\n"
+        " * Both models scope synchronization: device/system-scope\n"
+        "   code ported to narrower scopes silently loses ordering\n"
+        "   (Table 7's dv2wg bugs).\n");
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The libcu++ ticket mutex of the paper's Fig. 13: prove mutual
+ * exclusion under PTX, then validate the fence-relaxation optimization
+ * the paper discusses (the ticket-taking acquire can be relaxed; the
+ * unlock release cannot).
+ *
+ * Run:  ./build/examples/ticket_mutex
+ */
+
+#include <iostream>
+
+#include "cat/model.hpp"
+#include "core/verifier.hpp"
+#include "litmus/litmus_parser.hpp"
+
+using namespace gpumc;
+
+namespace {
+
+std::string
+ticketMutex(const std::string &ticketOrder, const std::string &unlockOrder)
+{
+    return R"(
+PTX "ticket-mutex"
+P0@cta 0,gpu 0             | P1@cta 1,gpu 0             ;
+atom.)" + ticketOrder + R"(.gpu.add r1, in, 1 | atom.)" + ticketOrder +
+           R"(.gpu.add r1, in, 1 ;
+LC00:                      | LC10:                      ;
+ld.acq.gpu r2, out         | ld.acq.gpu r2, out         ;
+beq r1, r2, LC01           | beq r1, r2, LC11           ;
+goto LC00                  | goto LC10                  ;
+LC01:                      | LC11:                      ;
+ld.weak r3, x              | ld.weak r3, x              ;
+st.weak x, 1               | st.weak x, 2               ;
+atom.)" + unlockOrder + R"(.gpu.add r4, out, 1 | atom.)" + unlockOrder +
+           R"(.gpu.add r4, out, 1 ;
+exists (P0:r1 == P0:r2 /\ P1:r1 == P1:r2 /\ P0:r3 == 0 /\ P1:r3 == 0)
+)";
+}
+
+bool
+mutualExclusionHolds(const std::string &source, const cat::CatModel &model)
+{
+    prog::Program program = litmus::parseLitmus(source);
+    core::VerifierOptions options;
+    options.bound = 3;
+    core::Verifier verifier(program, model, options);
+    // The exists-condition describes a mutual-exclusion violation.
+    return !verifier.checkSafety().holds;
+}
+
+} // namespace
+
+int
+main()
+{
+    cat::CatModel model = cat::CatModel::fromFile(
+        std::string(GPUMC_CAT_DIR) + "/ptx-v7.5.cat");
+
+    struct Variant {
+        const char *name;
+        const char *ticket, *unlock;
+        bool expectCorrect;
+    } variants[] = {
+        {"original (acq ticket, rel unlock)", "acq", "rel", true},
+        {"optimized (rlx ticket, rel unlock)", "rlx", "rel", true},
+        {"broken   (rlx ticket, rlx unlock)", "rlx", "rlx", false},
+    };
+
+    std::cout << "libcu++ ticket mutex under PTX v7.5 (paper Fig. 13)\n\n";
+    for (const Variant &v : variants) {
+        bool correct = mutualExclusionHolds(ticketMutex(v.ticket,
+                                                        v.unlock),
+                                            model);
+        std::cout << v.name << ": mutual exclusion "
+                  << (correct ? "HOLDS" : "VIOLATED")
+                  << (correct == v.expectCorrect ? "" : "  (unexpected!)")
+                  << "\n";
+    }
+    std::cout << "\nThe relaxed-ticket optimization is sound: developers "
+                 "can drop the acquire\non the ticket fetch, as the "
+                 "paper's analysis shows.\n";
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The XF inter-workgroup barrier (paper Figs. 1/3/14, Section 6):
+ * verify safety, data-race freedom and liveness of the portable
+ * release/acquire implementation, then show that every weakening
+ * breaks it.
+ *
+ * Run:  ./build/examples/xf_barrier
+ */
+
+#include <iostream>
+
+#include "cat/model.hpp"
+#include "core/verifier.hpp"
+#include "kernels/sync_kernels.hpp"
+
+using namespace gpumc;
+
+int
+main()
+{
+    cat::CatModel model = cat::CatModel::fromFile(
+        std::string(GPUMC_CAT_DIR) + "/vulkan.cat");
+    kernels::KernelGrid grid{2, 2};
+
+    std::cout << "XF inter-workgroup barrier, grid " << grid.str()
+              << " (" << grid.totalThreads() << " threads)\n\n";
+
+    {
+        prog::Program program =
+            kernels::buildXfBarrier(grid, kernels::XfVariant::Base);
+        core::Verifier verifier(program, model);
+        core::VerificationResult safety = verifier.checkSafety();
+        core::VerificationResult drf = verifier.checkCatSpec();
+        core::VerificationResult liveness = verifier.checkLiveness();
+        std::cout << "portable implementation (release/acquire):\n"
+                  << "  stale data after barrier: "
+                  << (safety.holds ? "OBSERVABLE (bug!)" : "forbidden")
+                  << "\n  data races:               "
+                  << (drf.holds ? "none" : "RACY") << "\n"
+                  << "  liveness:                 "
+                  << (liveness.holds ? "every spin terminates"
+                                     : "VIOLATION")
+                  << "\n\n";
+    }
+
+    for (kernels::XfVariant variant :
+         {kernels::XfVariant::AcqToRlx1, kernels::XfVariant::AcqToRlx2,
+          kernels::XfVariant::RelToRlx1, kernels::XfVariant::RelToRlx2}) {
+        prog::Program program = kernels::buildXfBarrier(grid, variant);
+        core::Verifier verifier(program, model);
+        bool buggy = verifier.checkSafety().holds;
+        std::cout << "weakening " << kernels::xfVariantName(variant)
+                  << ": " << (buggy ? "BUG (stale data reachable)"
+                                    : "still correct (unexpected)")
+                  << "\n";
+    }
+
+    std::cout << "\nAs in the paper (Table 7): relaxing any of the four "
+                 "release/acquire\nannotations reintroduces the "
+                 "original XF-barrier bugs.\n";
+    return 0;
+}

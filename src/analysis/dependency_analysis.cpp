@@ -1,0 +1,126 @@
+#include "analysis/dependency_analysis.hpp"
+
+#include <map>
+#include <set>
+#include <string>
+
+namespace gpumc::analysis {
+
+using prog::NodeSpecial;
+using prog::Opcode;
+using prog::Operand;
+using prog::RmwKind;
+using prog::UNode;
+
+namespace {
+
+using ReadSet = std::set<int>;
+
+struct NodeState {
+    std::map<std::string, ReadSet> regSources;
+    ReadSet ctrlReads;
+
+    void mergeFrom(const NodeState &other)
+    {
+        for (const auto &[reg, reads] : other.regSources)
+            regSources[reg].insert(reads.begin(), reads.end());
+        ctrlReads.insert(other.ctrlReads.begin(), other.ctrlReads.end());
+    }
+};
+
+ReadSet
+operandSources(const NodeState &state, const Operand &op)
+{
+    if (!op.isReg())
+        return {};
+    auto it = state.regSources.find(op.reg);
+    return it == state.regSources.end() ? ReadSet{} : it->second;
+}
+
+} // namespace
+
+Dependencies
+computeDependencies(const prog::UnrolledProgram &up)
+{
+    Dependencies deps;
+
+    for (size_t t = 0; t < up.threadNodes.size(); ++t) {
+        std::map<int, NodeState> states; // node -> incoming state
+
+        for (int idx : up.threadNodes[t]) {
+            const UNode &node = up.nodes[idx];
+            NodeState state;
+            for (const prog::UEdge &edge : node.preds) {
+                auto it = states.find(edge.from);
+                if (it != states.end())
+                    state.mergeFrom(it->second);
+                // Branch outcome adds control dependencies downstream.
+                const UNode &pred = up.nodes[edge.from];
+                if (pred.instr && pred.instr->isBranch()) {
+                    NodeState &predState = states[edge.from];
+                    ReadSet lhs =
+                        operandSources(predState, pred.instr->branchLhs);
+                    ReadSet rhs =
+                        operandSources(predState, pred.instr->branchRhs);
+                    state.ctrlReads.insert(lhs.begin(), lhs.end());
+                    state.ctrlReads.insert(rhs.begin(), rhs.end());
+                }
+            }
+
+            if (node.special != NodeSpecial::None || !node.instr) {
+                states.emplace(idx, std::move(state));
+                continue;
+            }
+            const prog::Instruction &ins = *node.instr;
+
+            // Control dependencies to every event this node produces.
+            for (int ev : {node.readEvent, node.writeEvent, node.eventId}) {
+                if (ev < 0)
+                    continue;
+                for (int read : state.ctrlReads)
+                    deps.ctrl.add(read, ev);
+            }
+
+            switch (ins.op) {
+              case Opcode::Load:
+                state.regSources[ins.dst] = {node.readEvent};
+                break;
+              case Opcode::Store:
+                for (int read : operandSources(state, ins.src))
+                    deps.data.add(read, node.writeEvent);
+                break;
+              case Opcode::Rmw: {
+                // The write half depends on operand sources; for
+                // fetch-add it also depends on the read half. CAS
+                // success depends on the read half (modelled as data).
+                for (int read : operandSources(state, ins.src))
+                    deps.data.add(read, node.writeEvent);
+                for (int read : operandSources(state, ins.src2))
+                    deps.data.add(read, node.writeEvent);
+                if (ins.rmwKind == RmwKind::Add ||
+                    ins.rmwKind == RmwKind::Cas) {
+                    deps.data.add(node.readEvent, node.writeEvent);
+                }
+                state.regSources[ins.dst] = {node.readEvent};
+                break;
+              }
+              case Opcode::Mov:
+                state.regSources[ins.dst] = operandSources(state, ins.src);
+                break;
+              case Opcode::AddReg: {
+                ReadSet sources = operandSources(state, ins.branchLhs);
+                ReadSet rhs = operandSources(state, ins.src);
+                sources.insert(rhs.begin(), rhs.end());
+                state.regSources[ins.dst] = std::move(sources);
+                break;
+              }
+              default:
+                break;
+            }
+            states.emplace(idx, std::move(state));
+        }
+    }
+    return deps;
+}
+
+} // namespace gpumc::analysis

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Syntactic dependency analysis over the unrolled program: computes the
+ * `data` and `ctrl` base relations (may-approximation) used by the
+ * No-Thin-Air axiom (`acyclic (rf | dep)` in the PTX model).
+ *
+ * `addr` is always empty because gpumc programs use static addressing.
+ */
+
+#ifndef GPUMC_ANALYSIS_DEPENDENCY_ANALYSIS_HPP
+#define GPUMC_ANALYSIS_DEPENDENCY_ANALYSIS_HPP
+
+#include "analysis/exec_analysis.hpp"
+#include "cat/pair_set.hpp"
+
+namespace gpumc::analysis {
+
+struct Dependencies {
+    cat::PairSet data; // read event -> value-dependent write event
+    cat::PairSet ctrl; // read event -> branch-controlled later event
+};
+
+/** Compute syntactic dependencies for all threads. */
+Dependencies computeDependencies(const prog::UnrolledProgram &up);
+
+} // namespace gpumc::analysis
+
+#endif // GPUMC_ANALYSIS_DEPENDENCY_ANALYSIS_HPP

@@ -1,0 +1,125 @@
+#include "analysis/exec_analysis.hpp"
+
+#include <deque>
+
+namespace gpumc::analysis {
+
+using prog::NodeSpecial;
+using prog::UNode;
+
+ExecAnalysis::ExecAnalysis(const prog::UnrolledProgram &up) : up_(&up)
+{
+    size_t n = up.nodes.size();
+    reachedBy_.resize(n);
+    topoPos_.assign(n, -1);
+    unconditional_.assign(n, false);
+
+    for (int t = 0; t < static_cast<int>(up.threadNodes.size()); ++t) {
+        const std::vector<int> &order = up.threadNodes[t];
+        int count = static_cast<int>(order.size());
+        for (int pos = 0; pos < count; ++pos)
+            topoPos_[order[pos]] = pos;
+
+        // reachedBy via DP over predecessors in topological order.
+        for (int pos = 0; pos < count; ++pos) {
+            int node = order[pos];
+            std::vector<bool> &set = reachedBy_[node];
+            set.assign(count, false);
+            set[pos] = true;
+            for (const prog::UEdge &edge : up.nodes[node].preds) {
+                const std::vector<bool> &predSet = reachedBy_[edge.from];
+                for (int k = 0; k < count; ++k)
+                    set[k] = set[k] || predSet[k];
+            }
+        }
+
+        // A node is unconditional if every complete execution (one that
+        // terminates at Exit or at a Kill node) passes through it.
+        // Check: can a terminal node be reached from the entry while
+        // avoiding this node?
+        int entry = up.threadEntry[t];
+        for (int candidate : order) {
+            if (candidate == entry) {
+                unconditional_[candidate] = true;
+                continue;
+            }
+            // BFS from entry avoiding candidate.
+            std::vector<bool> visited(count, false);
+            std::deque<int> queue;
+            visited[topoPos_[entry]] = true;
+            queue.push_back(entry);
+            bool terminalAvoiding = false;
+            // successor lists derived from preds on the fly
+            std::vector<std::vector<int>> succs(count);
+            for (int node : order) {
+                for (const prog::UEdge &edge : up.nodes[node].preds)
+                    succs[topoPos_[edge.from]].push_back(node);
+            }
+            while (!queue.empty() && !terminalAvoiding) {
+                int node = queue.front();
+                queue.pop_front();
+                const UNode &un = up.nodes[node];
+                if (un.special == NodeSpecial::Exit ||
+                    un.special == NodeSpecial::Kill) {
+                    terminalAvoiding = true;
+                    break;
+                }
+                for (int next : succs[topoPos_[node]]) {
+                    if (next == candidate)
+                        continue;
+                    if (!visited[topoPos_[next]]) {
+                        visited[topoPos_[next]] = true;
+                        queue.push_back(next);
+                    }
+                }
+            }
+            unconditional_[candidate] = !terminalAvoiding;
+        }
+    }
+}
+
+bool
+ExecAnalysis::nodeReaches(int from, int to) const
+{
+    if (up_->nodes[from].thread != up_->nodes[to].thread)
+        return false;
+    return reachedBy_[to][topoPos_[from]];
+}
+
+bool
+ExecAnalysis::mutExcl(int e1, int e2) const
+{
+    const prog::Event &a = up_->events[e1];
+    const prog::Event &b = up_->events[e2];
+    if (a.isInit || b.isInit || a.thread != b.thread)
+        return false;
+    if (a.uNode == b.uNode)
+        return false;
+    return !nodeReaches(a.uNode, b.uNode) && !nodeReaches(b.uNode, a.uNode);
+}
+
+bool
+ExecAnalysis::poBefore(int e1, int e2) const
+{
+    const prog::Event &a = up_->events[e1];
+    const prog::Event &b = up_->events[e2];
+    if (a.isInit || b.isInit || a.thread != b.thread || e1 == e2)
+        return false;
+    if (a.uNode == b.uNode) {
+        // RMW read precedes its write.
+        return a.kind == prog::EventKind::Read &&
+               b.kind == prog::EventKind::Write;
+    }
+    return nodeReaches(a.uNode, b.uNode);
+}
+
+bool
+ExecAnalysis::eventUnconditional(int e) const
+{
+    const prog::Event &ev = up_->events[e];
+    if (ev.isInit)
+        return true;
+    return unconditional_[ev.uNode];
+}
+
+} // namespace gpumc::analysis

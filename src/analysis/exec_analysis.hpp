@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Structural analysis of an unrolled program: intra-thread node
+ * reachability, mutual exclusion of events, program-order positions and
+ * unconditional-execution detection. This feeds the relation analysis
+ * (Table 3 of the paper) and the encoder.
+ */
+
+#ifndef GPUMC_ANALYSIS_EXEC_ANALYSIS_HPP
+#define GPUMC_ANALYSIS_EXEC_ANALYSIS_HPP
+
+#include <map>
+#include <vector>
+
+#include "program/unroller.hpp"
+
+namespace gpumc::analysis {
+
+class ExecAnalysis {
+  public:
+    explicit ExecAnalysis(const prog::UnrolledProgram &up);
+
+    const prog::UnrolledProgram &unrolled() const { return *up_; }
+
+    /** Can node @p from reach node @p to (same thread, from != to ok)? */
+    bool nodeReaches(int from, int to) const;
+
+    /**
+     * Two events can never execute in the same behaviour (same thread,
+     * on incomparable control-flow paths). Init events are never
+     * mutually exclusive with anything.
+     */
+    bool mutExcl(int e1, int e2) const;
+
+    /** Topological position of a node within its thread. */
+    int topoPos(int node) const { return topoPos_[node]; }
+
+    /**
+     * Program-order: both events in the same (non-init) thread and the
+     * first one's node reaches the second one's node.
+     */
+    bool poBefore(int e1, int e2) const;
+
+    /** Node executes in every complete execution of its thread. */
+    bool unconditional(int node) const { return unconditional_[node]; }
+
+    /** Event executes in every complete execution (init: always). */
+    bool eventUnconditional(int e) const;
+
+  private:
+    const prog::UnrolledProgram *up_;
+    // reach_[n] = set of nodes that can reach n (same thread), as a
+    // bitset over topological positions within the thread.
+    std::vector<std::vector<bool>> reachedBy_; // indexed by node
+    std::vector<int> topoPos_;
+    std::vector<bool> unconditional_;
+};
+
+} // namespace gpumc::analysis
+
+#endif // GPUMC_ANALYSIS_EXEC_ANALYSIS_HPP

@@ -1,0 +1,172 @@
+#include "cat/evaluator.hpp"
+
+namespace gpumc::cat {
+
+RelationEvaluator::RelationEvaluator(const CatModel &model,
+                                     const ExecutionView &exec)
+    : model_(model), exec_(exec)
+{
+}
+
+std::vector<int>
+RelationEvaluator::allEvents() const
+{
+    std::vector<int> out(exec_.numEvents());
+    for (int i = 0; i < exec_.numEvents(); ++i)
+        out[i] = i;
+    return out;
+}
+
+const PairSet &
+RelationEvaluator::letValue(int index)
+{
+    auto it = letRelCache_.find(index);
+    if (it != letRelCache_.end())
+        return it->second;
+    const LetBinding &binding = model_.lets()[index];
+    GPUMC_ASSERT(binding.expr->type == ExprType::Rel,
+                 "letValue on a set binding");
+    PairSet value = evalRel(*binding.expr);
+    return letRelCache_.emplace(index, std::move(value)).first->second;
+}
+
+std::vector<bool>
+RelationEvaluator::evalSet(const Expr &e)
+{
+    GPUMC_ASSERT(e.type == ExprType::Set);
+    int n = exec_.numEvents();
+    switch (e.kind) {
+      case ExprKind::Name: {
+        if (e.resolution == NameRes::LetRef) {
+            auto it = letSetCache_.find(e.letIndex);
+            if (it != letSetCache_.end())
+                return it->second;
+            std::vector<bool> value =
+                evalSet(*model_.lets()[e.letIndex].expr);
+            letSetCache_.emplace(e.letIndex, value);
+            return value;
+        }
+        std::vector<bool> out(n, false);
+        for (int i = 0; i < n; ++i)
+            out[i] = exec_.inSet(i, e.name);
+        return out;
+      }
+      case ExprKind::Union: {
+        std::vector<bool> a = evalSet(*e.lhs), b = evalSet(*e.rhs);
+        for (int i = 0; i < n; ++i)
+            a[i] = a[i] || b[i];
+        return a;
+      }
+      case ExprKind::Inter: {
+        std::vector<bool> a = evalSet(*e.lhs), b = evalSet(*e.rhs);
+        for (int i = 0; i < n; ++i)
+            a[i] = a[i] && b[i];
+        return a;
+      }
+      case ExprKind::Diff: {
+        std::vector<bool> a = evalSet(*e.lhs), b = evalSet(*e.rhs);
+        for (int i = 0; i < n; ++i)
+            a[i] = a[i] && !b[i];
+        return a;
+      }
+      default:
+        GPUMC_PANIC("expression is not a set");
+    }
+}
+
+PairSet
+RelationEvaluator::evalRel(const Expr &e)
+{
+    GPUMC_ASSERT(e.type == ExprType::Rel);
+    switch (e.kind) {
+      case ExprKind::Name: {
+        if (e.resolution == NameRes::LetRef)
+            return letValue(e.letIndex);
+        return exec_.baseRel(e.name);
+      }
+      case ExprKind::Union:
+        return evalRel(*e.lhs).unionWith(evalRel(*e.rhs));
+      case ExprKind::Inter:
+        return evalRel(*e.lhs).intersectWith(evalRel(*e.rhs));
+      case ExprKind::Diff:
+        return evalRel(*e.lhs).minus(evalRel(*e.rhs));
+      case ExprKind::Seq:
+        return evalRel(*e.lhs).compose(evalRel(*e.rhs));
+      case ExprKind::Cartesian: {
+        std::vector<bool> a = evalSet(*e.lhs), b = evalSet(*e.rhs);
+        PairSet out;
+        for (int i = 0; i < exec_.numEvents(); ++i) {
+            if (!a[i])
+                continue;
+            for (int j = 0; j < exec_.numEvents(); ++j) {
+                if (b[j])
+                    out.add(i, j);
+            }
+        }
+        return out;
+      }
+      case ExprKind::Inverse:
+        return evalRel(*e.lhs).inverse();
+      case ExprKind::TransClosure:
+        return evalRel(*e.lhs).transitiveClosure();
+      case ExprKind::ReflTransClosure:
+        return evalRel(*e.lhs).transitiveClosure().withIdentity(allEvents());
+      case ExprKind::Optional:
+        return evalRel(*e.lhs).withIdentity(allEvents());
+      case ExprKind::Bracket: {
+        std::vector<bool> set = evalSet(*e.lhs);
+        PairSet out;
+        for (int i = 0; i < exec_.numEvents(); ++i) {
+            if (set[i])
+                out.add(i, i);
+        }
+        return out;
+      }
+    }
+    GPUMC_PANIC("unhandled expression kind");
+}
+
+bool
+RelationEvaluator::consistent()
+{
+    for (const Axiom &ax : model_.axioms()) {
+        if (ax.kind == AxiomKind::FlagNonEmpty)
+            continue;
+        PairSet rel = evalRel(*ax.expr);
+        switch (ax.kind) {
+          case AxiomKind::Empty:
+            if (!rel.empty())
+                return false;
+            break;
+          case AxiomKind::Irreflexive:
+            if (!rel.isIrreflexive())
+                return false;
+            break;
+          case AxiomKind::Acyclic:
+            if (!rel.isAcyclic())
+                return false;
+            break;
+          case AxiomKind::FlagNonEmpty:
+            break;
+        }
+    }
+    return true;
+}
+
+std::vector<AxiomCheck>
+RelationEvaluator::evalFlags()
+{
+    std::vector<AxiomCheck> out;
+    for (const Axiom &ax : model_.axioms()) {
+        if (ax.kind != AxiomKind::FlagNonEmpty)
+            continue;
+        AxiomCheck check;
+        check.axiom = &ax;
+        check.flagged = evalRel(*ax.expr);
+        check.holds = check.flagged.empty();
+        out.push_back(std::move(check));
+    }
+    return out;
+}
+
+} // namespace gpumc::cat

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Concrete fix-point evaluation of a `.cat` model over a materialized
+ * execution (all events executed, base relations fully known). This is
+ * the semantic ground truth used by the explicit-state baseline and for
+ * cross-checking SMT witnesses.
+ */
+
+#ifndef GPUMC_CAT_EVALUATOR_HPP
+#define GPUMC_CAT_EVALUATOR_HPP
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cat/model.hpp"
+#include "cat/pair_set.hpp"
+
+namespace gpumc::cat {
+
+/**
+ * Read-only view of one concrete execution: the executed events (ids
+ * 0..numEvents-1), their tag membership, and the base relations.
+ */
+class ExecutionView {
+  public:
+    virtual ~ExecutionView() = default;
+
+    virtual int numEvents() const = 0;
+
+    /** Does @p event carry base tag @p tag? (`_` matches everything.) */
+    virtual bool inSet(int event, const std::string &tag) const = 0;
+
+    /** Concrete pairs of the base relation @p name. */
+    virtual const PairSet &baseRel(const std::string &name) const = 0;
+};
+
+/** Outcome of checking one axiom. */
+struct AxiomCheck {
+    const Axiom *axiom = nullptr;
+    bool holds = true;
+    /** For FlagNonEmpty axioms: the offending (flagged) pairs. */
+    PairSet flagged;
+};
+
+class RelationEvaluator {
+  public:
+    RelationEvaluator(const CatModel &model, const ExecutionView &exec);
+
+    /** Evaluate any relation-typed expression to its concrete pairs. */
+    PairSet evalRel(const Expr &e);
+
+    /** Evaluate any set-typed expression to an event membership mask. */
+    std::vector<bool> evalSet(const Expr &e);
+
+    /** Evaluate the let binding at @p index (memoized). */
+    const PairSet &letValue(int index);
+
+    /**
+     * Check all non-flag axioms; returns true when the execution is
+     * consistent with the model.
+     */
+    bool consistent();
+
+    /**
+     * Evaluate all `flag ~empty` axioms; the returned checks carry the
+     * offending pairs (e.g. racy accesses for the Vulkan DRF flag).
+     */
+    std::vector<AxiomCheck> evalFlags();
+
+  private:
+    std::vector<int> allEvents() const;
+
+    const CatModel &model_;
+    const ExecutionView &exec_;
+    std::map<int, PairSet> letRelCache_;
+    std::map<int, std::vector<bool>> letSetCache_;
+};
+
+} // namespace gpumc::cat
+
+#endif // GPUMC_CAT_EVALUATOR_HPP

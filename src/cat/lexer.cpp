@@ -1,0 +1,178 @@
+#include "cat/lexer.hpp"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace gpumc::cat {
+
+namespace {
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '-' || c == '.';
+}
+
+const std::unordered_map<std::string_view, TokKind> kKeywords = {
+    {"let", TokKind::Let},
+    {"acyclic", TokKind::Acyclic},
+    {"irreflexive", TokKind::Irreflexive},
+    {"empty", TokKind::Empty},
+    {"flag", TokKind::Flag},
+    {"as", TokKind::As},
+};
+
+} // namespace
+
+std::vector<Token>
+tokenizeCat(std::string_view src)
+{
+    std::vector<Token> out;
+    size_t i = 0;
+    int line = 1, col = 1;
+
+    auto loc = [&]() { return SourceLoc{line, col}; };
+    auto advance = [&](size_t n) {
+        for (size_t k = 0; k < n; ++k) {
+            if (src[i + k] == '\n') {
+                line++;
+                col = 1;
+            } else {
+                col++;
+            }
+        }
+        i += n;
+    };
+    auto push = [&](TokKind kind, std::string text, SourceLoc l) {
+        out.push_back({kind, std::move(text), l});
+    };
+
+    while (i < src.size()) {
+        char c = src[i];
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            advance(1);
+            continue;
+        }
+        // Nested (* ... *) comments.
+        if (c == '(' && i + 1 < src.size() && src[i + 1] == '*') {
+            SourceLoc start = loc();
+            int depth = 0;
+            while (i < src.size()) {
+                if (src[i] == '(' && i + 1 < src.size() && src[i + 1] == '*') {
+                    depth++;
+                    advance(2);
+                } else if (src[i] == '*' && i + 1 < src.size() &&
+                           src[i + 1] == ')') {
+                    depth--;
+                    advance(2);
+                    if (depth == 0)
+                        break;
+                } else {
+                    advance(1);
+                }
+            }
+            if (depth != 0)
+                fatalAt(start, "unterminated (* comment");
+            continue;
+        }
+        // Line comments starting with //.
+        if (c == '/' && i + 1 < src.size() && src[i + 1] == '/') {
+            while (i < src.size() && src[i] != '\n')
+                advance(1);
+            continue;
+        }
+        SourceLoc l = loc();
+        if (isIdentStart(c)) {
+            size_t start = i;
+            while (i < src.size() && isIdentChar(src[i]))
+                advance(1);
+            std::string text(src.substr(start, i - start));
+            auto kw = kKeywords.find(text);
+            push(kw != kKeywords.end() ? kw->second : TokKind::Ident,
+                 std::move(text), l);
+            continue;
+        }
+        if (c == '"') {
+            size_t start = ++i;
+            col++;
+            while (i < src.size() && src[i] != '"')
+                advance(1);
+            if (i >= src.size())
+                fatalAt(l, "unterminated string");
+            std::string text(src.substr(start, i - start));
+            advance(1); // closing quote
+            push(TokKind::String, std::move(text), l);
+            continue;
+        }
+        if (c == '^') {
+            if (i + 2 < src.size() && src[i + 1] == '-' && src[i + 2] == '1') {
+                advance(3);
+                push(TokKind::Inverse, "^-1", l);
+                continue;
+            }
+            fatalAt(l, "expected ^-1");
+        }
+        TokKind kind;
+        switch (c) {
+          case '~': kind = TokKind::Tilde; break;
+          case '=': kind = TokKind::Equals; break;
+          case '|': kind = TokKind::Pipe; break;
+          case '&': kind = TokKind::Amp; break;
+          case '\\': kind = TokKind::Backslash; break;
+          case ';': kind = TokKind::Semi; break;
+          case '+': kind = TokKind::Plus; break;
+          case '*': kind = TokKind::Star; break;
+          case '?': kind = TokKind::Question; break;
+          case '(': kind = TokKind::LParen; break;
+          case ')': kind = TokKind::RParen; break;
+          case '[': kind = TokKind::LBracket; break;
+          case ']': kind = TokKind::RBracket; break;
+          default:
+            fatalAt(l, "unexpected character '", c, "' in .cat source");
+        }
+        advance(1);
+        push(kind, std::string(1, c), l);
+    }
+    out.push_back({TokKind::End, "", loc()});
+    return out;
+}
+
+const char *
+tokKindName(TokKind kind)
+{
+    switch (kind) {
+      case TokKind::Ident: return "identifier";
+      case TokKind::Let: return "'let'";
+      case TokKind::Acyclic: return "'acyclic'";
+      case TokKind::Irreflexive: return "'irreflexive'";
+      case TokKind::Empty: return "'empty'";
+      case TokKind::Flag: return "'flag'";
+      case TokKind::As: return "'as'";
+      case TokKind::Tilde: return "'~'";
+      case TokKind::Equals: return "'='";
+      case TokKind::Pipe: return "'|'";
+      case TokKind::Amp: return "'&'";
+      case TokKind::Backslash: return "'\\'";
+      case TokKind::Semi: return "';'";
+      case TokKind::Plus: return "'+'";
+      case TokKind::Star: return "'*'";
+      case TokKind::Question: return "'?'";
+      case TokKind::Inverse: return "'^-1'";
+      case TokKind::LParen: return "'('";
+      case TokKind::RParen: return "')'";
+      case TokKind::LBracket: return "'['";
+      case TokKind::RBracket: return "']'";
+      case TokKind::String: return "string";
+      case TokKind::End: return "end of input";
+    }
+    return "?";
+}
+
+} // namespace gpumc::cat

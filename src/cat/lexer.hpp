@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Tokenizer for the `.cat` consistency-model language (Fig. 2 of the
+ * paper, plus the GPU extensions of Section 4).
+ */
+
+#ifndef GPUMC_CAT_LEXER_HPP
+#define GPUMC_CAT_LEXER_HPP
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/diagnostics.hpp"
+
+namespace gpumc::cat {
+
+enum class TokKind {
+    Ident,      // names: po, sync_fence, non-rmw-reads, _
+    Let,
+    Acyclic,
+    Irreflexive,
+    Empty,
+    Flag,
+    As,
+    Tilde,      // ~
+    Equals,     // =
+    Pipe,       // |
+    Amp,        // &
+    Backslash,  // \ (set/relation difference)
+    Semi,       // ;
+    Plus,       // +
+    Star,       // *
+    Question,   // ?
+    Inverse,    // ^-1
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    String,     // "model name"
+    End,
+};
+
+struct Token {
+    TokKind kind = TokKind::End;
+    std::string text;
+    SourceLoc loc;
+};
+
+/**
+ * Tokenize a whole `.cat` source. Comments are `(* ... *)` and nest.
+ * @throws FatalError on malformed input.
+ */
+std::vector<Token> tokenizeCat(std::string_view source);
+
+/** Printable token-kind name for error messages. */
+const char *tokKindName(TokKind kind);
+
+} // namespace gpumc::cat
+
+#endif // GPUMC_CAT_LEXER_HPP

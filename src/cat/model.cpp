@@ -1,0 +1,145 @@
+#include "cat/model.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "cat/parser.hpp"
+
+namespace gpumc::cat {
+
+CatModel::CatModel(ParsedModel parsed, const Vocabulary &vocab)
+    : parsed_(std::move(parsed)), vocab_(&vocab)
+{
+    resolveAndCheck();
+}
+
+CatModel
+CatModel::fromSource(std::string_view source, const Vocabulary &vocab)
+{
+    return CatModel(parseCat(source), vocab);
+}
+
+CatModel
+CatModel::fromFile(const std::string &path, const Vocabulary &vocab)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open .cat model file: ", path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return fromSource(buf.str(), vocab);
+}
+
+bool
+CatModel::hasFlaggedAxioms() const
+{
+    for (const Axiom &ax : parsed_.axioms) {
+        if (ax.kind == AxiomKind::FlagNonEmpty)
+            return true;
+    }
+    return false;
+}
+
+void
+CatModel::resolveAndCheck()
+{
+    // Bindings are visible from the binding *after* them onward, so a
+    // later `let co = co+` can shadow the base relation while its RHS
+    // still refers to the base (paper Fig. 4, line 5).
+    for (size_t i = 0; i < parsed_.lets.size(); ++i)
+        resolveExpr(*parsed_.lets[i].expr, static_cast<int>(i));
+    for (Axiom &ax : parsed_.axioms) {
+        resolveExpr(*ax.expr, static_cast<int>(parsed_.lets.size()));
+        if (ax.expr->type != ExprType::Rel) {
+            fatalAt(ax.loc, "axiom expression must be a relation");
+        }
+    }
+}
+
+void
+CatModel::resolveExpr(Expr &e, int numVisibleLets)
+{
+    auto requireType = [](const Expr &child, ExprType want,
+                          const char *what) {
+        if (child.type != want) {
+            fatalAt(child.loc, what, " expects a ",
+                    want == ExprType::Set ? "set" : "relation",
+                    " operand");
+        }
+    };
+
+    switch (e.kind) {
+      case ExprKind::Name: {
+        // Most recent visible let wins; fall back to base names.
+        for (int i = numVisibleLets - 1; i >= 0; --i) {
+            if (parsed_.lets[i].name == e.name) {
+                e.resolution = NameRes::LetRef;
+                e.letIndex = i;
+                e.type = parsed_.lets[i].expr->type;
+                return;
+            }
+        }
+        if (vocab_->isBaseSet(e.name)) {
+            e.resolution = NameRes::BaseSet;
+            e.type = ExprType::Set;
+            return;
+        }
+        if (vocab_->isBaseRel(e.name)) {
+            e.resolution = NameRes::BaseRel;
+            e.type = ExprType::Rel;
+            return;
+        }
+        fatalAt(e.loc, "unknown name '", e.name, "' in .cat model");
+      }
+      case ExprKind::Union:
+      case ExprKind::Inter:
+      case ExprKind::Diff: {
+        resolveExpr(*e.lhs, numVisibleLets);
+        resolveExpr(*e.rhs, numVisibleLets);
+        if (e.lhs->type != e.rhs->type) {
+            fatalAt(e.loc,
+                    "set/relation mismatch between operands of '",
+                    e.kind == ExprKind::Union ? "|"
+                    : e.kind == ExprKind::Inter ? "&" : "\\",
+                    "'");
+        }
+        e.type = e.lhs->type;
+        return;
+      }
+      case ExprKind::Seq: {
+        resolveExpr(*e.lhs, numVisibleLets);
+        resolveExpr(*e.rhs, numVisibleLets);
+        requireType(*e.lhs, ExprType::Rel, "';'");
+        requireType(*e.rhs, ExprType::Rel, "';'");
+        e.type = ExprType::Rel;
+        return;
+      }
+      case ExprKind::Cartesian: {
+        resolveExpr(*e.lhs, numVisibleLets);
+        resolveExpr(*e.rhs, numVisibleLets);
+        requireType(*e.lhs, ExprType::Set, "'*'");
+        requireType(*e.rhs, ExprType::Set, "'*'");
+        e.type = ExprType::Rel;
+        return;
+      }
+      case ExprKind::Inverse:
+      case ExprKind::TransClosure:
+      case ExprKind::ReflTransClosure:
+      case ExprKind::Optional: {
+        resolveExpr(*e.lhs, numVisibleLets);
+        requireType(*e.lhs, ExprType::Rel, "postfix operator");
+        e.type = ExprType::Rel;
+        return;
+      }
+      case ExprKind::Bracket: {
+        resolveExpr(*e.lhs, numVisibleLets);
+        requireType(*e.lhs, ExprType::Set, "'[...]'");
+        e.type = ExprType::Rel;
+        return;
+      }
+    }
+    GPUMC_PANIC("unhandled expression kind");
+}
+
+} // namespace gpumc::cat

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * CatModel: a parsed, name-resolved and type-checked `.cat` consistency
+ * model, ready for evaluation (explicit checker) or encoding (SMT).
+ */
+
+#ifndef GPUMC_CAT_MODEL_HPP
+#define GPUMC_CAT_MODEL_HPP
+
+#include <string>
+#include <string_view>
+
+#include "cat/ast.hpp"
+#include "cat/vocabulary.hpp"
+
+namespace gpumc::cat {
+
+class CatModel {
+  public:
+    /**
+     * Parse and check a `.cat` source.
+     * @throws FatalError on syntax, unknown-name or type errors.
+     */
+    static CatModel fromSource(std::string_view source,
+                               const Vocabulary &vocab = Vocabulary::gpu());
+
+    /** Load a model from a file path. */
+    static CatModel fromFile(const std::string &path,
+                             const Vocabulary &vocab = Vocabulary::gpu());
+
+    const std::string &name() const { return parsed_.modelName; }
+    const std::vector<LetBinding> &lets() const { return parsed_.lets; }
+    const std::vector<Axiom> &axioms() const { return parsed_.axioms; }
+    const Vocabulary &vocabulary() const { return *vocab_; }
+
+    /** True if the model contains at least one `flag ~empty` axiom. */
+    bool hasFlaggedAxioms() const;
+
+  private:
+    CatModel(ParsedModel parsed, const Vocabulary &vocab);
+
+    void resolveAndCheck();
+    void resolveExpr(Expr &e, int numVisibleLets);
+
+    ParsedModel parsed_;
+    const Vocabulary *vocab_;
+};
+
+} // namespace gpumc::cat
+
+#endif // GPUMC_CAT_MODEL_HPP

@@ -1,0 +1,153 @@
+#include "cat/pair_set.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace gpumc::cat {
+
+PairSet
+PairSet::unionWith(const PairSet &o) const
+{
+    PairSet out = *this;
+    for (auto [a, b] : o.pairs_)
+        out.add(a, b);
+    return out;
+}
+
+PairSet
+PairSet::intersectWith(const PairSet &o) const
+{
+    PairSet out;
+    const PairSet &small = size() <= o.size() ? *this : o;
+    const PairSet &large = size() <= o.size() ? o : *this;
+    for (auto [a, b] : small.pairs_) {
+        if (large.contains(a, b))
+            out.add(a, b);
+    }
+    return out;
+}
+
+PairSet
+PairSet::minus(const PairSet &o) const
+{
+    PairSet out;
+    for (auto [a, b] : pairs_) {
+        if (!o.contains(a, b))
+            out.add(a, b);
+    }
+    return out;
+}
+
+PairSet
+PairSet::compose(const PairSet &o) const
+{
+    // Index the right-hand side by its first component.
+    std::map<int, std::vector<int>> bySource;
+    for (auto [a, b] : o.pairs_)
+        bySource[a].push_back(b);
+    PairSet out;
+    for (auto [a, b] : pairs_) {
+        auto it = bySource.find(b);
+        if (it == bySource.end())
+            continue;
+        for (int c : it->second)
+            out.add(a, c);
+    }
+    return out;
+}
+
+PairSet
+PairSet::inverse() const
+{
+    PairSet out;
+    for (auto [a, b] : pairs_)
+        out.add(b, a);
+    return out;
+}
+
+PairSet
+PairSet::transitiveClosure() const
+{
+    PairSet result = *this;
+    while (true) {
+        PairSet next = result.unionWith(result.compose(*this));
+        if (next.size() == result.size())
+            return result;
+        result = std::move(next);
+    }
+}
+
+PairSet
+PairSet::transitiveClosureSquaring(int &roundsOut) const
+{
+    PairSet result = *this;
+    roundsOut = 0;
+    while (true) {
+        PairSet next = result.unionWith(result.compose(result));
+        if (next.size() == result.size())
+            return result;
+        roundsOut++;
+        result = std::move(next);
+    }
+}
+
+PairSet
+PairSet::withIdentity(const std::vector<int> &events) const
+{
+    PairSet out = *this;
+    for (int e : events)
+        out.add(e, e);
+    return out;
+}
+
+PairSet
+PairSet::withoutIdentity() const
+{
+    PairSet out;
+    for (auto [a, b] : pairs_) {
+        if (a != b)
+            out.add(a, b);
+    }
+    return out;
+}
+
+bool
+PairSet::isIrreflexive() const
+{
+    return std::none_of(pairs_.begin(), pairs_.end(),
+                        [](const EventPair &p) {
+                            return p.first == p.second;
+                        });
+}
+
+bool
+PairSet::isAcyclic() const
+{
+    // Kahn-style cycle detection over the nodes that appear in the set.
+    std::map<int, std::vector<int>> succ;
+    std::map<int, int> indeg;
+    for (auto [a, b] : pairs_) {
+        succ[a].push_back(b);
+        indeg[b]++;
+        indeg.try_emplace(a, 0);
+        succ.try_emplace(b);
+    }
+    std::vector<int> queue;
+    for (auto &[node, deg] : indeg) {
+        if (deg == 0)
+            queue.push_back(node);
+    }
+    size_t visited = 0;
+    while (!queue.empty()) {
+        int node = queue.back();
+        queue.pop_back();
+        visited++;
+        for (int next : succ[node]) {
+            if (--indeg[next] == 0)
+                queue.push_back(next);
+        }
+    }
+    return visited == indeg.size();
+}
+
+} // namespace gpumc::cat

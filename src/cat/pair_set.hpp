@@ -1,0 +1,83 @@
+/**
+ * @file
+ * A set of event pairs (a concrete binary relation over event ids) with
+ * the relational-algebra operations used by the `.cat` evaluator, the
+ * relation (bounds) analysis and the explicit-state baseline.
+ */
+
+#ifndef GPUMC_CAT_PAIR_SET_HPP
+#define GPUMC_CAT_PAIR_SET_HPP
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+namespace gpumc::cat {
+
+/** An event pair packed into one key. */
+using EventPair = std::pair<int, int>;
+
+class PairSet {
+  public:
+    PairSet() = default;
+
+    static uint64_t key(int a, int b)
+    {
+        return (static_cast<uint64_t>(static_cast<uint32_t>(a)) << 32) |
+               static_cast<uint32_t>(b);
+    }
+
+    void add(int a, int b)
+    {
+        if (keys_.insert(key(a, b)).second)
+            pairs_.emplace_back(a, b);
+    }
+
+    bool contains(int a, int b) const
+    {
+        return keys_.count(key(a, b)) != 0;
+    }
+
+    size_t size() const { return pairs_.size(); }
+    bool empty() const { return pairs_.empty(); }
+
+    /** Iteration over pairs in insertion order. */
+    const std::vector<EventPair> &pairs() const { return pairs_; }
+
+    // --- relational algebra ---------------------------------------------
+    PairSet unionWith(const PairSet &o) const;
+    PairSet intersectWith(const PairSet &o) const;
+    PairSet minus(const PairSet &o) const;
+    /** Relational composition this ; o. */
+    PairSet compose(const PairSet &o) const;
+    PairSet inverse() const;
+    /** Transitive closure. */
+    PairSet transitiveClosure() const;
+    /**
+     * Transitive closure by repeated squaring; @p roundsOut receives
+     * the number of squaring rounds until the fix-point (the encoder
+     * uses it as the exact layer count for closure encodings).
+     */
+    PairSet transitiveClosureSquaring(int &roundsOut) const;
+    /** Reflexive closure over the given event universe ids. */
+    PairSet withIdentity(const std::vector<int> &events) const;
+    /** Remove diagonal pairs. */
+    PairSet withoutIdentity() const;
+
+    /** True if no pair (a, a) exists. */
+    bool isIrreflexive() const;
+    /** True if the relation (as a graph) has no cycle. */
+    bool isAcyclic() const;
+
+    bool operator==(const PairSet &o) const { return keys_ == o.keys_; }
+
+  private:
+    std::vector<EventPair> pairs_;
+    std::unordered_set<uint64_t> keys_;
+};
+
+} // namespace gpumc::cat
+
+#endif // GPUMC_CAT_PAIR_SET_HPP

@@ -1,0 +1,253 @@
+#include "cat/parser.hpp"
+
+#include "cat/lexer.hpp"
+
+namespace gpumc::cat {
+
+namespace {
+
+class Parser {
+  public:
+    explicit Parser(std::vector<Token> tokens) : toks_(std::move(tokens)) {}
+
+    ParsedModel parse()
+    {
+        ParsedModel model;
+        // Optional leading model name: a string, or a bare identifier that
+        // is immediately followed by another statement keyword.
+        if (peek().kind == TokKind::String) {
+            model.modelName = next().text;
+        } else if (peek().kind == TokKind::Ident &&
+                   isStatementStart(peekAt(1).kind)) {
+            model.modelName = next().text;
+        }
+        while (peek().kind != TokKind::End)
+            parseStatement(model);
+        return model;
+    }
+
+  private:
+    static bool isStatementStart(TokKind k)
+    {
+        return k == TokKind::Let || k == TokKind::Acyclic ||
+               k == TokKind::Irreflexive || k == TokKind::Empty ||
+               k == TokKind::Flag || k == TokKind::End;
+    }
+
+    const Token &peek() const { return toks_[pos_]; }
+    const Token &peekAt(size_t n) const
+    {
+        size_t idx = pos_ + n;
+        return idx < toks_.size() ? toks_[idx] : toks_.back();
+    }
+    const Token &next() { return toks_[pos_++]; }
+
+    Token expect(TokKind kind)
+    {
+        if (peek().kind != kind) {
+            fatalAt(peek().loc, "expected ", tokKindName(kind), " but found ",
+                    tokKindName(peek().kind),
+                    peek().text.empty() ? "" : " '" + peek().text + "'");
+        }
+        return next();
+    }
+
+    void parseStatement(ParsedModel &model)
+    {
+        const Token &tok = peek();
+        switch (tok.kind) {
+          case TokKind::Let: {
+            next();
+            Token name = expect(TokKind::Ident);
+            expect(TokKind::Equals);
+            ExprPtr e = parseExpr();
+            model.lets.push_back({name.text, std::move(e), name.loc});
+            return;
+          }
+          case TokKind::Acyclic:
+          case TokKind::Irreflexive:
+          case TokKind::Empty: {
+            AxiomKind kind = tok.kind == TokKind::Acyclic
+                                 ? AxiomKind::Acyclic
+                                 : tok.kind == TokKind::Irreflexive
+                                       ? AxiomKind::Irreflexive
+                                       : AxiomKind::Empty;
+            SourceLoc loc = next().loc;
+            ExprPtr e = parseExpr();
+            std::string name;
+            if (peek().kind == TokKind::As) {
+                next();
+                name = expect(TokKind::Ident).text;
+            }
+            model.axioms.push_back({kind, std::move(e), name, loc});
+            return;
+          }
+          case TokKind::Flag: {
+            SourceLoc loc = next().loc;
+            expect(TokKind::Tilde);
+            expect(TokKind::Empty);
+            ExprPtr e = parseExpr();
+            std::string name;
+            if (peek().kind == TokKind::As) {
+                next();
+                name = expect(TokKind::Ident).text;
+            } else {
+                name = "flagged"; // default name when omitted (paper Fig. 8)
+            }
+            model.axioms.push_back(
+                {AxiomKind::FlagNonEmpty, std::move(e), name, loc});
+            return;
+          }
+          default:
+            fatalAt(tok.loc, "expected a statement but found ",
+                    tokKindName(tok.kind));
+        }
+    }
+
+    // expr := seqlevel ('|' seqlevel)*
+    ExprPtr parseExpr() { return parseUnion(); }
+
+    ExprPtr parseUnion()
+    {
+        ExprPtr lhs = parseSeq();
+        while (peek().kind == TokKind::Pipe) {
+            SourceLoc loc = next().loc;
+            ExprPtr rhs = parseSeq();
+            auto node = std::make_unique<Expr>(ExprKind::Union, loc);
+            node->lhs = std::move(lhs);
+            node->rhs = std::move(rhs);
+            lhs = std::move(node);
+        }
+        return lhs;
+    }
+
+    ExprPtr parseSeq()
+    {
+        ExprPtr lhs = parseDiff();
+        while (peek().kind == TokKind::Semi) {
+            SourceLoc loc = next().loc;
+            ExprPtr rhs = parseDiff();
+            auto node = std::make_unique<Expr>(ExprKind::Seq, loc);
+            node->lhs = std::move(lhs);
+            node->rhs = std::move(rhs);
+            lhs = std::move(node);
+        }
+        return lhs;
+    }
+
+    ExprPtr parseDiff()
+    {
+        ExprPtr lhs = parseInter();
+        while (peek().kind == TokKind::Backslash) {
+            SourceLoc loc = next().loc;
+            ExprPtr rhs = parseInter();
+            auto node = std::make_unique<Expr>(ExprKind::Diff, loc);
+            node->lhs = std::move(lhs);
+            node->rhs = std::move(rhs);
+            lhs = std::move(node);
+        }
+        return lhs;
+    }
+
+    ExprPtr parseInter()
+    {
+        ExprPtr lhs = parseCartesian();
+        while (peek().kind == TokKind::Amp) {
+            SourceLoc loc = next().loc;
+            ExprPtr rhs = parseCartesian();
+            auto node = std::make_unique<Expr>(ExprKind::Inter, loc);
+            node->lhs = std::move(lhs);
+            node->rhs = std::move(rhs);
+            lhs = std::move(node);
+        }
+        return lhs;
+    }
+
+    bool starIsBinary() const
+    {
+        TokKind after = peekAt(1).kind;
+        return after == TokKind::Ident || after == TokKind::LParen ||
+               after == TokKind::LBracket;
+    }
+
+    ExprPtr parseCartesian()
+    {
+        ExprPtr lhs = parsePostfix();
+        while (peek().kind == TokKind::Star && starIsBinary()) {
+            SourceLoc loc = next().loc;
+            ExprPtr rhs = parsePostfix();
+            auto node = std::make_unique<Expr>(ExprKind::Cartesian, loc);
+            node->lhs = std::move(lhs);
+            node->rhs = std::move(rhs);
+            lhs = std::move(node);
+        }
+        return lhs;
+    }
+
+    ExprPtr parsePostfix()
+    {
+        ExprPtr e = parseAtom();
+        while (true) {
+            TokKind k = peek().kind;
+            if (k == TokKind::Plus || k == TokKind::Question ||
+                k == TokKind::Inverse ||
+                (k == TokKind::Star && !starIsBinary())) {
+                SourceLoc loc = next().loc;
+                ExprKind kind = k == TokKind::Plus ? ExprKind::TransClosure
+                                : k == TokKind::Question ? ExprKind::Optional
+                                : k == TokKind::Inverse
+                                      ? ExprKind::Inverse
+                                      : ExprKind::ReflTransClosure;
+                auto node = std::make_unique<Expr>(kind, loc);
+                node->lhs = std::move(e);
+                e = std::move(node);
+                continue;
+            }
+            break;
+        }
+        return e;
+    }
+
+    ExprPtr parseAtom()
+    {
+        const Token &tok = peek();
+        switch (tok.kind) {
+          case TokKind::Ident: {
+            auto node = std::make_unique<Expr>(ExprKind::Name, tok.loc);
+            node->name = tok.text;
+            next();
+            return node;
+          }
+          case TokKind::LParen: {
+            next();
+            ExprPtr e = parseExpr();
+            expect(TokKind::RParen);
+            return e;
+          }
+          case TokKind::LBracket: {
+            SourceLoc loc = next().loc;
+            ExprPtr inner = parseExpr();
+            expect(TokKind::RBracket);
+            auto node = std::make_unique<Expr>(ExprKind::Bracket, loc);
+            node->lhs = std::move(inner);
+            return node;
+          }
+          default:
+            fatalAt(tok.loc, "expected an expression but found ",
+                    tokKindName(tok.kind));
+        }
+    }
+
+    std::vector<Token> toks_;
+    size_t pos_ = 0;
+};
+
+} // namespace
+
+ParsedModel
+parseCat(std::string_view source)
+{
+    return Parser(tokenizeCat(source)).parse();
+}
+
+} // namespace gpumc::cat

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Recursive-descent parser for `.cat` sources.
+ *
+ * Operator precedence (loosest to tightest):
+ *   `|`  <  `;`  <  `\`  <  `&`  <  `*` (cartesian)  <  postfix ops
+ *
+ * The `*` token is ambiguous between binary cartesian product and
+ * postfix Kleene closure; it is resolved by one-token lookahead: it is
+ * binary exactly when the next token can begin an atom.
+ */
+
+#ifndef GPUMC_CAT_PARSER_HPP
+#define GPUMC_CAT_PARSER_HPP
+
+#include <string_view>
+
+#include "cat/ast.hpp"
+
+namespace gpumc::cat {
+
+/** Parse a `.cat` source text. @throws FatalError on syntax errors. */
+ParsedModel parseCat(std::string_view source);
+
+} // namespace gpumc::cat
+
+#endif // GPUMC_CAT_PARSER_HPP

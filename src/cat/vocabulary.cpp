@@ -1,0 +1,38 @@
+#include "cat/vocabulary.hpp"
+
+namespace gpumc::cat {
+
+const Vocabulary &
+Vocabulary::gpu()
+{
+    static const Vocabulary vocab = [] {
+        Vocabulary v;
+        v.sets = {
+            // event kinds
+            "W", "R", "M", "F", "B", "CBAR", "I", "IW", "RMW", "A",
+            "NONPRIV", "_",
+            // memory orders
+            "WEAK", "RLX", "ACQ", "REL", "SC",
+            // PTX instruction scopes
+            "CTA", "GPU", "SYS",
+            // Vulkan instruction scopes
+            "SG", "WG", "QF", "DV",
+            // PTX proxies and the alias proxy fence
+            "GEN", "TEX", "SUR", "CON", "ALIAS",
+            // Vulkan storage classes and storage-class semantics
+            "SC0", "SC1", "SEMSC0", "SEMSC1",
+            // Vulkan availability / visibility
+            "AV", "VIS", "SEMAV", "SEMVIS", "AVDEVICE", "VISDEVICE",
+        };
+        v.rels = {
+            "po", "rf", "co", "loc", "vloc", "id", "int", "ext",
+            "addr", "data", "ctrl", "rmw",
+            "sr", "scta", "ssg", "swg", "sqf", "ssw",
+            "syncbar", "sync_barrier", "sync_fence",
+        };
+        return v;
+    }();
+    return vocab;
+}
+
+} // namespace gpumc::cat

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * The fixed vocabulary of base event tags (sets) and base relations a
+ * `.cat` model may reference — the core of Fig. 2 plus the GPU
+ * extensions of Tables 1 and 2 of the paper.
+ */
+
+#ifndef GPUMC_CAT_VOCABULARY_HPP
+#define GPUMC_CAT_VOCABULARY_HPP
+
+#include <set>
+#include <string>
+
+namespace gpumc::cat {
+
+struct Vocabulary {
+    std::set<std::string> sets;
+    std::set<std::string> rels;
+
+    bool isBaseSet(const std::string &name) const
+    {
+        return sets.count(name) != 0;
+    }
+    bool isBaseRel(const std::string &name) const
+    {
+        return rels.count(name) != 0;
+    }
+
+    /**
+     * The GPU vocabulary used by the PTX and Vulkan models.
+     *
+     * Sets: event kinds (W, R, M, F, B/CBAR, IW/I, RMW, A, NONPRIV),
+     * memory orders (WEAK, RLX, ACQ, REL, SC), instruction scopes
+     * (CTA, GPU, SYS; SG, WG, QF, DV), proxies (GEN, TEX, SUR, CON,
+     * ALIAS), storage classes and semantics (SC0, SC1, SEMSC0, SEMSC1),
+     * availability/visibility (AV, VIS, SEMAV, SEMVIS, AVDEVICE,
+     * VISDEVICE) and the universal set `_`.
+     *
+     * Relations: po, rf, co, loc, vloc, id, int, ext, addr, data, ctrl,
+     * rmw, sr, scta, ssg, swg, sqf, ssw, syncbar, sync_barrier,
+     * sync_fence.
+     */
+    static const Vocabulary &gpu();
+};
+
+} // namespace gpumc::cat
+
+#endif // GPUMC_CAT_VOCABULARY_HPP

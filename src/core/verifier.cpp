@@ -1,0 +1,249 @@
+#include "core/verifier.hpp"
+
+#include "encoder/relation_encoder.hpp"
+#include "program/unroller.hpp"
+
+namespace gpumc::core {
+
+using prog::NodeSpecial;
+using smt::Lit;
+
+Verifier::Verifier(const prog::Program &program, const cat::CatModel &model,
+                   VerifierOptions options)
+    : program_(program), model_(model), options_(options)
+{
+}
+
+struct Verifier::Session {
+    prog::UnrolledProgram up;
+    analysis::ExecAnalysis exec;
+    analysis::RelationAnalysis ra;
+    std::unique_ptr<smt::Backend> backend;
+    smt::Circuit circuit;
+    encoder::ProgramEncoder pe;
+    encoder::RelationEncoder re;
+
+    Session(const prog::Program &program, const cat::CatModel &model,
+            const VerifierOptions &options)
+        : up(prog::unroll(program, options.bound)),
+          exec(up),
+          ra(exec, model),
+          backend(smt::makeBackend(options.backend)),
+          circuit(*backend),
+          pe(ra, circuit,
+             encoder::EncoderOptions{
+                 options.valueBits > 0
+                     ? options.valueBits
+                     : program.suggestedValueBits(options.bound),
+                 /*coTotal=*/program.arch != prog::Arch::Ptx,
+                 options.useLowerBounds,
+                 options.forceClosureSoundness}),
+          re(ra, pe)
+    {
+        pe.encodeStructure();
+        re.assertAxioms();
+    }
+
+    /** Forbid reaching the given class of kill nodes. */
+    void forbidKills(bool includeSpinKills)
+    {
+        for (int node : up.killNodes) {
+            if (!includeSpinKills && up.nodes[node].spinKill)
+                continue;
+            circuit.assertLit(circuit.mkNot(pe.guardOf(node)));
+        }
+    }
+
+    void assertFilter(const prog::Program &program)
+    {
+        if (program.filter)
+            circuit.assertLit(pe.condLit(*program.filter));
+    }
+};
+
+VerificationResult
+Verifier::check(Property property)
+{
+    return run(property);
+}
+
+VerificationResult
+Verifier::checkSafety()
+{
+    return run(Property::Safety);
+}
+
+VerificationResult
+Verifier::checkLiveness()
+{
+    return run(Property::Liveness);
+}
+
+VerificationResult
+Verifier::checkCatSpec()
+{
+    return run(Property::CatSpec);
+}
+
+VerificationResult
+Verifier::run(Property property)
+{
+    Stopwatch timer;
+    VerificationResult result;
+    result.property = property;
+
+    Session s(program_, model_, options_);
+
+    // Per-property query construction.
+    std::vector<encoder::FlagViolation> flags;
+    switch (property) {
+      case Property::Safety: {
+        s.forbidKills(true);
+        s.assertFilter(program_);
+        Lit cond = program_.assertion ? s.pe.condLit(*program_.assertion)
+                                      : s.circuit.trueLit();
+        if (program_.assertKind == prog::AssertKind::Forall)
+            cond = s.circuit.mkNot(cond);
+        s.circuit.assertLit(cond);
+        break;
+      }
+      case Property::CatSpec: {
+        s.forbidKills(true);
+        s.assertFilter(program_);
+        flags = s.re.encodeFlags();
+        if (flags.empty()) {
+            result.holds = true;
+            result.detail = "model has no flagged axioms";
+            result.timeMs = timer.elapsedMs();
+            return result;
+        }
+        std::vector<Lit> any;
+        for (const encoder::FlagViolation &f : flags)
+            any.push_back(f.lit);
+        s.circuit.assertLit(s.circuit.mkOr(any));
+        break;
+      }
+      case Property::Liveness: {
+        s.forbidKills(false); // spin kills represent stuck threads
+        s.assertFilter(program_);
+
+        // stuck(t): some spinloop of t exhausted the bound with all of
+        // its final-iteration reads observing co-maximal writes.
+        std::vector<Lit> stuck(program_.numThreads(),
+                               s.circuit.falseLit());
+        for (const prog::SpinKillInfo &info : s.up.spinKills) {
+            std::vector<Lit> conj = {s.pe.guardOf(info.killNode)};
+            for (int read : info.lastIterationReads) {
+                // The read observes a co-maximal write.
+                std::vector<Lit> cases;
+                for (const auto &[key, lit] : s.pe.rfMap()) {
+                    int w = static_cast<int>(key >> 32);
+                    int r = static_cast<int>(key & 0xffffffff);
+                    if (r != read)
+                        continue;
+                    cases.push_back(
+                        s.circuit.mkAnd(lit, s.pe.coMaximalLit(w)));
+                }
+                conj.push_back(s.circuit.mkOr(cases));
+            }
+            stuck[info.thread] = s.circuit.mkOr(
+                stuck[info.thread], s.circuit.mkAnd(conj));
+        }
+
+        // Violation: some thread is stuck, and every thread is either
+        // stuck or terminated (no thread can make progress).
+        std::vector<Lit> someStuck;
+        std::vector<Lit> allBlocked;
+        for (int t = 0; t < program_.numThreads(); ++t) {
+            someStuck.push_back(stuck[t]);
+            allBlocked.push_back(
+                s.circuit.mkOr(stuck[t], s.pe.threadTerminated(t)));
+        }
+        s.circuit.assertLit(s.circuit.mkOr(someStuck));
+        s.circuit.assertLit(s.circuit.mkAnd(allBlocked));
+        break;
+      }
+    }
+
+    result.stats.set("events", s.up.numEvents());
+    result.stats.set("smtVars", s.backend->numVars());
+    result.stats.set("smtClauses", s.backend->numClauses());
+
+    if (options_.solverTimeoutMs > 0)
+        s.backend->setTimeLimitMs(options_.solverTimeoutMs);
+    smt::SolveResult solveResult = s.backend->solve();
+    if (solveResult == smt::SolveResult::Unknown) {
+        result.unknown = true;
+        result.detail = "solver resource limit exhausted";
+        result.timeMs = timer.elapsedMs();
+        return result;
+    }
+    bool sat = solveResult == smt::SolveResult::Sat;
+
+    switch (property) {
+      case Property::Safety:
+        switch (program_.assertKind) {
+          case prog::AssertKind::Exists:
+            result.holds = sat;
+            result.detail = sat ? "condition reachable"
+                                : "condition unreachable";
+            break;
+          case prog::AssertKind::NotExists:
+            result.holds = !sat;
+            result.detail = sat ? "forbidden state reachable"
+                                : "forbidden state unreachable";
+            break;
+          case prog::AssertKind::Forall:
+            result.holds = !sat;
+            result.detail = sat ? "counterexample found"
+                                : "condition holds in all behaviours";
+            break;
+        }
+        break;
+      case Property::CatSpec:
+        result.holds = !sat;
+        result.detail = sat ? "flagged behaviour (e.g. data race) found"
+                            : "no flagged behaviour";
+        break;
+      case Property::Liveness:
+        result.holds = !sat;
+        result.detail = sat ? "liveness violation found"
+                            : "no liveness violation";
+        break;
+    }
+
+    if (sat && options_.wantWitness) {
+        ExecutionWitness witness = extractWitness(s.ra, s.pe);
+        if (property == Property::CatSpec) {
+            // Record the flagged (racy) pairs in witness coordinates.
+            std::map<int, int> localOf;
+            for (size_t i = 0; i < witness.events.size(); ++i)
+                localOf[witness.events[i].originalId] =
+                    static_cast<int>(i);
+            for (const encoder::FlagViolation &f : flags) {
+                for (const auto &[pair, lit] : f.pairLits) {
+                    if (!s.circuit.modelTrue(lit))
+                        continue;
+                    auto ia = localOf.find(pair.first);
+                    auto ib = localOf.find(pair.second);
+                    if (ia != localOf.end() && ib != localOf.end()) {
+                        witness.flaggedPairs.push_back(
+                            {ia->second, ib->second});
+                    }
+                }
+            }
+        }
+        if (options_.validateWitness) {
+            WitnessView view(witness, s.ra, s.pe);
+            cat::RelationEvaluator evaluator(model_, view);
+            GPUMC_ASSERT(evaluator.consistent(),
+                         "SAT witness violates the cat model: encoder bug");
+        }
+        result.witness = std::move(witness);
+    }
+
+    result.timeMs = timer.elapsedMs();
+    return result;
+}
+
+} // namespace gpumc::core

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * The public verification API of gpumc (the paper's Dartagnan role):
+ * checks litmus programs against `.cat` consistency models for safety
+ * (final-state conditions), liveness (spinloop progress) and data-race
+ * freedom (`flag ~empty` axioms).
+ */
+
+#ifndef GPUMC_CORE_VERIFIER_HPP
+#define GPUMC_CORE_VERIFIER_HPP
+
+#include <optional>
+#include <string>
+
+#include "cat/model.hpp"
+#include "core/witness.hpp"
+#include "program/program.hpp"
+#include "smt/backend.hpp"
+#include "support/stats.hpp"
+
+namespace gpumc::core {
+
+enum class Property { Safety, Liveness, CatSpec };
+
+struct VerifierOptions {
+    /**
+     * SMT backend. The built-in CDCL solver is the default: on gpumc's
+     * Tseitin-CNF encodings it consistently outperforms Z3 by an order
+     * of magnitude (see bench/ablation_solver).
+     */
+    smt::BackendKind backend = smt::BackendKind::Builtin;
+    /** Loop unroll bound (number of backward jumps per thread). */
+    int bound = 2;
+    /** Bit width of data values; 0 = sized automatically from the
+     *  program's value universe. */
+    int valueBits = 0;
+    /** Re-check SAT witnesses with the concrete evaluator (paranoia). */
+    bool validateWitness = false;
+    /** Lower-bound shortcuts from the relation analysis (ablation). */
+    bool useLowerBounds = true;
+    /** Force closure soundness indices everywhere (ablation). */
+    bool forceClosureSoundness = false;
+    /**
+     * Wall-clock budget for the solver per query, in milliseconds;
+     * 0 = unlimited. When exhausted the result carries unknown=true.
+     */
+    int64_t solverTimeoutMs = 0;
+    /** Extract an execution witness on SAT results. */
+    bool wantWitness = true;
+};
+
+struct VerificationResult {
+    Property property = Property::Safety;
+
+    /**
+     * Did the property hold?
+     *  - Safety: the quantified litmus statement is true (exists:
+     *    reachable; ~exists: unreachable; forall: no counterexample).
+     *  - Liveness: no liveness violation exists.
+     *  - CatSpec: no flagged behaviour (e.g. data race) exists.
+     */
+    bool holds = false;
+
+    /** The solver hit its resource budget; `holds` is meaningless. */
+    bool unknown = false;
+
+    std::string detail;
+    std::optional<ExecutionWitness> witness;
+
+    double timeMs = 0.0;
+    StatsRegistry stats;
+};
+
+class Verifier {
+  public:
+    Verifier(const prog::Program &program, const cat::CatModel &model,
+             VerifierOptions options = {});
+
+    /** Check the litmus exists/~exists/forall condition. */
+    VerificationResult checkSafety();
+    /** Check for liveness violations (Section 6.4). */
+    VerificationResult checkLiveness();
+    /** Check `flag ~empty` axioms (e.g. Vulkan DRF). */
+    VerificationResult checkCatSpec();
+
+    /** Dispatch by property. */
+    VerificationResult check(Property property);
+
+  private:
+    /**
+     * One encoding session: fresh backend + full structural encoding.
+     * allowSpinKills selects liveness bounding semantics.
+     */
+    struct Session;
+    VerificationResult run(Property property);
+
+    const prog::Program &program_;
+    const cat::CatModel &model_;
+    VerifierOptions options_;
+};
+
+} // namespace gpumc::core
+
+#endif // GPUMC_CORE_VERIFIER_HPP

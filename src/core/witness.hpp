@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Execution witnesses: a concrete behaviour (executed events, rf, co,
+ * values, final registers) extracted from a SAT model. Witnesses can be
+ * rendered as DOT execution graphs (paper Figs. 3/14 style) and
+ * re-checked against the `.cat` model with the concrete evaluator.
+ */
+
+#ifndef GPUMC_CORE_WITNESS_HPP
+#define GPUMC_CORE_WITNESS_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cat/evaluator.hpp"
+#include "encoder/program_encoder.hpp"
+
+namespace gpumc::core {
+
+struct WitnessEvent {
+    int originalId = -1; // event id in the unrolled program
+    int thread = -1;     // -1 for init
+    std::string display;
+    bool isRead = false, isWrite = false;
+    int physLoc = -1;
+    int64_t value = 0;   // read or written value (memory events)
+};
+
+class ExecutionWitness {
+  public:
+    std::vector<WitnessEvent> events;          // executed events only
+    std::vector<cat::EventPair> rf;            // witness-local indices
+    std::vector<cat::EventPair> co;
+    std::map<std::string, int64_t> finalRegisters; // "P0:r1" -> value
+    std::vector<cat::EventPair> flaggedPairs;  // e.g. racy accesses
+
+    /** Render as a GraphViz execution graph. */
+    std::string toDot(const std::string &title) const;
+
+    /** Compact one-line-per-event text form. */
+    std::string toText() const;
+};
+
+/**
+ * Extract the witness from a satisfiable encoding.
+ */
+ExecutionWitness extractWitness(analysis::RelationAnalysis &ra,
+                                encoder::ProgramEncoder &pe);
+
+/**
+ * Adapt a witness back into a cat::ExecutionView so the concrete
+ * evaluator can re-check the axioms (cross-validation of the encoder).
+ */
+class WitnessView : public cat::ExecutionView {
+  public:
+    WitnessView(const ExecutionWitness &witness,
+                analysis::RelationAnalysis &ra,
+                encoder::ProgramEncoder &pe);
+
+    int numEvents() const override
+    {
+        return static_cast<int>(witness_->events.size());
+    }
+    bool inSet(int event, const std::string &tag) const override;
+    const cat::PairSet &baseRel(const std::string &name) const override;
+
+  private:
+    const ExecutionWitness *witness_;
+    const prog::UnrolledProgram *up_;
+    std::vector<int> originalIds;
+    std::map<std::string, cat::PairSet> rels_;
+};
+
+} // namespace gpumc::core
+
+#endif // GPUMC_CORE_WITNESS_HPP

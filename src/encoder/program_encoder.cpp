@@ -1,0 +1,494 @@
+#include "encoder/program_encoder.hpp"
+
+#include <cmath>
+
+namespace gpumc::encoder {
+
+using prog::EventKind;
+using prog::NodeSpecial;
+using prog::Opcode;
+using prog::RmwKind;
+using prog::UNode;
+using smt::BitVec;
+using smt::Lit;
+
+ProgramEncoder::ProgramEncoder(analysis::RelationAnalysis &ra,
+                               smt::Circuit &circuit, EncoderOptions opts)
+    : ra_(ra), circuit_(circuit), bv_(circuit), opts_(opts)
+{
+}
+
+void
+ProgramEncoder::encodeStructure()
+{
+    const prog::UnrolledProgram &up = unrolled();
+    guards_.assign(up.nodes.size(), circuit_.falseLit());
+    envAfter_.resize(up.nodes.size());
+    eventExec_.assign(up.numEvents(), circuit_.falseLit());
+    values_.resize(up.numEvents());
+    barrierIds_.resize(up.numEvents());
+
+    // Init writes always execute with their constant value.
+    for (int e = 0; e < up.numInitEvents; ++e) {
+        eventExec_[e] = circuit_.trueLit();
+        values_[e] = bv_.constant(
+            static_cast<uint64_t>(up.events[e].initValue),
+            opts_.valueBits);
+    }
+
+    for (int t = 0; t < up.program->numThreads(); ++t)
+        encodeThread(t);
+
+    encodeRf();
+    encodeCo();
+    encodeSyncFence();
+}
+
+smt::BitVec
+ProgramEncoder::evalOperand(const RegEnv &env, const prog::Operand &op)
+{
+    if (!op.isReg())
+        return bv_.constant(static_cast<uint64_t>(op.value),
+                            opts_.valueBits);
+    auto it = env.find(op.reg);
+    if (it != env.end())
+        return it->second;
+    return bv_.constant(0, opts_.valueBits); // unassigned registers read 0
+}
+
+void
+ProgramEncoder::encodeThread(int t)
+{
+    const prog::UnrolledProgram &up = unrolled();
+
+    // Branch condition literal per node, filled when visiting branches.
+    std::map<int, Lit> branchCond;
+
+    for (int idx : up.threadNodes[t]) {
+        const UNode &node = up.nodes[idx];
+
+        // Guard and incoming register environment.
+        Lit guard;
+        RegEnv env;
+        if (node.preds.empty()) {
+            guard = circuit_.trueLit(); // thread entry: threads all start
+        } else {
+            std::vector<Lit> edges;
+            bool first = true;
+            for (const prog::UEdge &edge : node.preds) {
+                Lit el = guards_[edge.from];
+                if (edge.kind == prog::EdgeKind::Taken &&
+                    branchCond.count(edge.from)) {
+                    el = circuit_.mkAnd(el, branchCond[edge.from]);
+                } else if (edge.kind == prog::EdgeKind::NotTaken) {
+                    el = circuit_.mkAnd(
+                        el, circuit_.mkNot(branchCond[edge.from]));
+                }
+                edges.push_back(el);
+
+                const RegEnv &predEnv = envAfter_[edge.from];
+                if (first) {
+                    env = predEnv;
+                    first = false;
+                } else {
+                    // Merge: select the incoming environment by edge.
+                    for (const auto &[reg, val] : predEnv) {
+                        auto it = env.find(reg);
+                        if (it == env.end()) {
+                            env.emplace(reg,
+                                        bv_.ite(el, val,
+                                                bv_.constant(
+                                                    0, opts_.valueBits)));
+                        } else {
+                            it->second = bv_.ite(el, val, it->second);
+                        }
+                    }
+                    for (auto &[reg, val] : env) {
+                        if (!predEnv.count(reg)) {
+                            val = bv_.ite(el,
+                                          bv_.constant(0, opts_.valueBits),
+                                          val);
+                        }
+                    }
+                }
+            }
+            guard = circuit_.mkOr(edges);
+        }
+        guards_[idx] = guard;
+
+        if (node.special != NodeSpecial::None || !node.instr) {
+            envAfter_[idx] = std::move(env);
+            continue;
+        }
+
+        const prog::Instruction &ins = *node.instr;
+        switch (ins.op) {
+          case Opcode::Load: {
+            BitVec val = bv_.fresh(opts_.valueBits);
+            values_[node.readEvent] = val;
+            eventExec_[node.readEvent] = guard;
+            env[ins.dst] = val;
+            break;
+          }
+          case Opcode::Store: {
+            values_[node.writeEvent] = evalOperand(env, ins.src);
+            eventExec_[node.writeEvent] = guard;
+            break;
+          }
+          case Opcode::Rmw: {
+            BitVec readVal = bv_.fresh(opts_.valueBits);
+            values_[node.readEvent] = readVal;
+            eventExec_[node.readEvent] = guard;
+            BitVec operand = evalOperand(env, ins.src);
+            Lit writeExec = guard;
+            BitVec writeVal = operand;
+            switch (ins.rmwKind) {
+              case RmwKind::Add:
+                writeVal = bv_.add(readVal, operand);
+                break;
+              case RmwKind::Exchange:
+                writeVal = operand;
+                break;
+              case RmwKind::Cas: {
+                // Write only on success (old value == expected).
+                Lit success = bv_.eq(readVal, operand);
+                writeExec = circuit_.mkAnd(guard, success);
+                writeVal = evalOperand(env, ins.src2);
+                break;
+              }
+            }
+            values_[node.writeEvent] = writeVal;
+            eventExec_[node.writeEvent] = writeExec;
+            env[ins.dst] = readVal;
+            break;
+          }
+          case Opcode::Fence:
+          case Opcode::ProxyFence:
+          case Opcode::AvDevice:
+          case Opcode::VisDevice:
+            eventExec_[node.eventId] = guard;
+            break;
+          case Opcode::Barrier:
+            eventExec_[node.eventId] = guard;
+            barrierIds_[node.eventId] = evalOperand(env, ins.barrierId);
+            break;
+          case Opcode::Mov:
+            env[ins.dst] = evalOperand(env, ins.src);
+            break;
+          case Opcode::AddReg:
+            env[ins.dst] = bv_.add(evalOperand(env, ins.branchLhs),
+                                   evalOperand(env, ins.src));
+            break;
+          case Opcode::BranchEq:
+            branchCond[idx] = bv_.eq(evalOperand(env, ins.branchLhs),
+                                     evalOperand(env, ins.branchRhs));
+            break;
+          case Opcode::BranchNe:
+            branchCond[idx] =
+                circuit_.mkNot(bv_.eq(evalOperand(env, ins.branchLhs),
+                                      evalOperand(env, ins.branchRhs)));
+            break;
+          case Opcode::Label:
+          case Opcode::Goto:
+            break;
+        }
+        envAfter_[idx] = std::move(env);
+    }
+}
+
+void
+ProgramEncoder::encodeRf()
+{
+    const prog::UnrolledProgram &up = unrolled();
+    const cat::PairSet &ub = ra_.baseBounds("rf").ub;
+
+    // Group candidates by read.
+    std::map<int, std::vector<int>> writesOf;
+    for (auto [w, r] : ub.pairs())
+        writesOf[r].push_back(w);
+
+    for (int r = 0; r < up.numEvents(); ++r) {
+        if (up.events[r].kind != EventKind::Read)
+            continue;
+        auto it = writesOf.find(r);
+        GPUMC_ASSERT(it != writesOf.end(),
+                     "read event without rf candidates: ",
+                     up.events[r].display);
+        std::vector<Lit> lits;
+        for (int w : it->second) {
+            Lit lit = circuit_.freshVar();
+            rf_.emplace(key(w, r), lit);
+            lits.push_back(lit);
+            // rf implies both executed and value transfer.
+            circuit_.assertImplies(lit, eventExec_[w]);
+            circuit_.assertImplies(lit, eventExec_[r]);
+            circuit_.assertImplies(
+                lit, bv_.eq(*values_[r], *values_[w]));
+        }
+        // Executed reads take their value from exactly one write.
+        std::vector<Lit> atLeast = lits;
+        atLeast.push_back(circuit_.mkNot(eventExec_[r]));
+        circuit_.assertClause(atLeast);
+        circuit_.assertAtMostOne(lits);
+    }
+}
+
+void
+ProgramEncoder::encodeCo()
+{
+    const prog::UnrolledProgram &up = unrolled();
+    const cat::PairSet &ub = ra_.baseBounds("co").ub;
+
+    // Collect non-init writes per location.
+    std::map<int, std::vector<int>> writesPerLoc;
+    for (int e = 0; e < up.numEvents(); ++e) {
+        const prog::Event &ev = up.events[e];
+        if (ev.kind == EventKind::Write && !ev.isInit)
+            writesPerLoc[ev.physLoc].push_back(e);
+    }
+
+    for (auto &[loc, writes] : writesPerLoc) {
+        (void)loc;
+        int clockBits = 1;
+        while ((1 << clockBits) < static_cast<int>(writes.size()) + 1)
+            clockBits++;
+        std::map<int, BitVec> clock;
+        for (int w : writes)
+            clock.emplace(w, bv_.fresh(clockBits));
+
+        if (opts_.coTotal) {
+            // Distinct clocks for co-executed writes ensure totality.
+            for (size_t i = 0; i < writes.size(); ++i) {
+                for (size_t j = i + 1; j < writes.size(); ++j) {
+                    int w1 = writes[i], w2 = writes[j];
+                    circuit_.assertClause(
+                        {circuit_.mkNot(eventExec_[w1]),
+                         circuit_.mkNot(eventExec_[w2]),
+                         circuit_.mkNot(
+                             bv_.eq(clock.at(w1), clock.at(w2)))});
+                }
+            }
+        }
+
+        for (int w1 : writes) {
+            for (int w2 : writes) {
+                if (w1 == w2 || !ub.contains(w1, w2))
+                    continue;
+                Lit lit;
+                if (opts_.coTotal) {
+                    // co(w1,w2) <-> exec & exec & clk(w1) < clk(w2)
+                    lit = circuit_.mkAnd(
+                        {eventExec_[w1], eventExec_[w2],
+                         bv_.ult(clock.at(w1), clock.at(w2))});
+                } else {
+                    // Partial order: free variable constrained by the
+                    // clocks (antisymmetry + acyclicity) and explicit
+                    // transitivity below.
+                    lit = circuit_.freshVar();
+                    circuit_.assertImplies(lit, eventExec_[w1]);
+                    circuit_.assertImplies(lit, eventExec_[w2]);
+                    circuit_.assertImplies(
+                        lit, bv_.ult(clock.at(w1), clock.at(w2)));
+                }
+                co_.emplace(key(w1, w2), lit);
+            }
+        }
+
+        if (!opts_.coTotal) {
+            // Transitivity of the partial order.
+            for (int w1 : writes) {
+                for (int w2 : writes) {
+                    if (w1 == w2 || !co_.count(key(w1, w2)))
+                        continue;
+                    for (int w3 : writes) {
+                        if (w3 == w1 || w3 == w2 ||
+                            !co_.count(key(w2, w3)) ||
+                            !co_.count(key(w1, w3))) {
+                            continue;
+                        }
+                        circuit_.assertClause(
+                            {circuit_.mkNot(co_.at(key(w1, w2))),
+                             circuit_.mkNot(co_.at(key(w2, w3))),
+                             co_.at(key(w1, w3))});
+                    }
+                }
+            }
+        }
+    }
+
+    // Init writes come first in co: co(init, w) holds iff w executes.
+    for (auto [w1, w2] : ub.pairs()) {
+        if (up.events[w1].isInit)
+            co_.emplace(key(w1, w2), eventExec_[w2]);
+    }
+}
+
+void
+ProgramEncoder::encodeSyncFence()
+{
+    const prog::UnrolledProgram &up = unrolled();
+    if (up.program->arch != prog::Arch::Ptx)
+        return;
+    const cat::PairSet &ub = ra_.baseBounds("sync_fence").ub;
+    if (ub.empty())
+        return;
+
+    int clockBits = 1;
+    while ((1 << clockBits) < up.numEvents())
+        clockBits++;
+    std::map<int, BitVec> clock;
+    auto clockOf = [&](int f) -> const BitVec & {
+        auto it = clock.find(f);
+        if (it == clock.end())
+            it = clock.emplace(f, bv_.fresh(clockBits)).first;
+        return it->second;
+    };
+
+    for (auto [f1, f2] : ub.pairs()) {
+        if (syncFence_.count(key(f1, f2)))
+            continue;
+        Lit fwd = circuit_.freshVar();
+        Lit bwd = circuit_.freshVar();
+        syncFence_.emplace(key(f1, f2), fwd);
+        syncFence_.emplace(key(f2, f1), bwd);
+        Lit both = circuit_.mkAnd(eventExec_[f1], eventExec_[f2]);
+        // Table 4: executed pairs are ordered one way or the other.
+        circuit_.assertClause({circuit_.mkNot(both), fwd, bwd});
+        circuit_.assertImplies(fwd, both);
+        circuit_.assertImplies(bwd, both);
+        circuit_.assertImplies(fwd, bv_.ult(clockOf(f1), clockOf(f2)));
+        circuit_.assertImplies(bwd, bv_.ult(clockOf(f2), clockOf(f1)));
+    }
+}
+
+Lit
+ProgramEncoder::rfLit(int w, int r) const
+{
+    auto it = rf_.find(key(w, r));
+    return it == rf_.end() ? circuit_.falseLit() : it->second;
+}
+
+Lit
+ProgramEncoder::coLit(int w1, int w2) const
+{
+    auto it = co_.find(key(w1, w2));
+    return it == co_.end() ? circuit_.falseLit() : it->second;
+}
+
+Lit
+ProgramEncoder::syncFenceLit(int f1, int f2) const
+{
+    auto it = syncFence_.find(key(f1, f2));
+    return it == syncFence_.end() ? circuit_.falseLit() : it->second;
+}
+
+const BitVec &
+ProgramEncoder::valueOf(int event) const
+{
+    GPUMC_ASSERT(values_[event].has_value(), "event has no value");
+    return *values_[event];
+}
+
+const BitVec &
+ProgramEncoder::barrierIdOf(int event) const
+{
+    GPUMC_ASSERT(barrierIds_[event].has_value(),
+                 "event has no barrier id");
+    return *barrierIds_[event];
+}
+
+Lit
+ProgramEncoder::threadTerminated(int t) const
+{
+    return guards_[unrolled().threadExit[t]];
+}
+
+smt::BitVec
+ProgramEncoder::finalRegister(int thread, const std::string &reg)
+{
+    const RegEnv &env = envAfter_[unrolled().threadExit[thread]];
+    auto it = env.find(reg);
+    if (it != env.end())
+        return it->second;
+    return bv_.constant(0, opts_.valueBits);
+}
+
+Lit
+ProgramEncoder::coMaximalLit(int w)
+{
+    auto it = coMax_.find(w);
+    if (it != coMax_.end())
+        return it->second;
+    const cat::PairSet &ub = ra_.baseBounds("co").ub;
+    std::vector<Lit> conj = {eventExec_[w]};
+    for (auto [a, b] : ub.pairs()) {
+        if (a == w)
+            conj.push_back(circuit_.mkNot(coLit(a, b)));
+    }
+    Lit lit = circuit_.mkAnd(conj);
+    coMax_.emplace(w, lit);
+    return lit;
+}
+
+smt::BitVec
+ProgramEncoder::finalMemValue(int physLoc)
+{
+    auto it = finalMem_.find(physLoc);
+    if (it != finalMem_.end())
+        return it->second;
+
+    const prog::UnrolledProgram &up = unrolled();
+    BitVec result = bv_.fresh(opts_.valueBits);
+    // The final value is the value of some executed co-maximal write.
+    std::vector<Lit> cases;
+    for (int e = 0; e < up.numEvents(); ++e) {
+        const prog::Event &ev = up.events[e];
+        if (ev.kind != EventKind::Write || ev.physLoc != physLoc)
+            continue;
+        Lit isFinal = circuit_.mkAnd(coMaximalLit(e),
+                                     bv_.eq(result, valueOf(e)));
+        cases.push_back(isFinal);
+    }
+    GPUMC_ASSERT(!cases.empty(), "location without writes");
+    circuit_.assertClause(cases);
+    finalMem_.emplace(physLoc, result);
+    return result;
+}
+
+smt::BitVec
+ProgramEncoder::condTermValue(const prog::CondTerm &term)
+{
+    switch (term.kind) {
+      case prog::CondTerm::Kind::Const:
+        return bv_.constant(static_cast<uint64_t>(term.value),
+                            opts_.valueBits);
+      case prog::CondTerm::Kind::Reg:
+        return finalRegister(term.thread, term.name);
+      case prog::CondTerm::Kind::Mem:
+        return finalMemValue(unrolled().program->physLoc(term.name));
+    }
+    GPUMC_PANIC("unhandled condition term");
+}
+
+Lit
+ProgramEncoder::condLit(const prog::Cond &cond)
+{
+    switch (cond.kind) {
+      case prog::Cond::Kind::True:
+        return circuit_.trueLit();
+      case prog::Cond::Kind::And:
+        return circuit_.mkAnd(condLit(*cond.lhs), condLit(*cond.rhs));
+      case prog::Cond::Kind::Or:
+        return circuit_.mkOr(condLit(*cond.lhs), condLit(*cond.rhs));
+      case prog::Cond::Kind::Not:
+        return circuit_.mkNot(condLit(*cond.lhs));
+      case prog::Cond::Kind::Eq:
+        return bv_.eq(condTermValue(cond.tl), condTermValue(cond.tr));
+      case prog::Cond::Kind::Ne:
+        return circuit_.mkNot(
+            bv_.eq(condTermValue(cond.tl), condTermValue(cond.tr)));
+    }
+    GPUMC_PANIC("unhandled condition kind");
+}
+
+} // namespace gpumc::encoder

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Structural SMT encoding of an unrolled program (Section 6.3, Table 4):
+ * control-flow guards, symbolic register/memory values as bit-vectors,
+ * the reads-from relation (exactly-one semantics), coherence (total per
+ * location for Vulkan, partial order with explicit transitivity for
+ * PTX), sync_fence clocks and the final state used by litmus conditions.
+ */
+
+#ifndef GPUMC_ENCODER_PROGRAM_ENCODER_HPP
+#define GPUMC_ENCODER_PROGRAM_ENCODER_HPP
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/relation_analysis.hpp"
+#include "smt/bitvector.hpp"
+#include "smt/circuit.hpp"
+
+namespace gpumc::encoder {
+
+struct EncoderOptions {
+    /** Bit width of data values. */
+    int valueBits = 8;
+    /** Encode coherence as a total order per location (false for PTX). */
+    bool coTotal = true;
+    /**
+     * Use lower bounds from the relation analysis to shortcut static
+     * pairs to exec(a) & exec(b) (Section 6.2). Disabled only by the
+     * relation-analysis ablation benchmark.
+     */
+    bool useLowerBounds = true;
+    /**
+     * Emit the well-foundedness (index) justification for every
+     * closure, ignoring the polarity analysis. Correct but much more
+     * expensive; only the encoding ablation enables this.
+     */
+    bool forceClosureSoundness = false;
+};
+
+class ProgramEncoder {
+  public:
+    ProgramEncoder(analysis::RelationAnalysis &ra, smt::Circuit &circuit,
+                   EncoderOptions opts);
+
+    /** Encode guards, values, rf, co and sync_fence. */
+    void encodeStructure();
+
+    smt::Circuit &circuit() { return circuit_; }
+    smt::BitVecBuilder &bv() { return bv_; }
+    const EncoderOptions &options() const { return opts_; }
+    const prog::UnrolledProgram &unrolled() const
+    {
+        return ra_.unrolled();
+    }
+
+    // --- structural queries (valid after encodeStructure) ---------------
+    smt::Lit guardOf(int node) const { return guards_[node]; }
+    smt::Lit execLit(int event) const { return eventExec_[event]; }
+
+    /** rf literal for a candidate pair; false literal otherwise. */
+    smt::Lit rfLit(int w, int r) const;
+    /** co literal for a candidate pair; false literal otherwise. */
+    smt::Lit coLit(int w1, int w2) const;
+    /** sync_fence literal for a candidate pair. */
+    smt::Lit syncFenceLit(int f1, int f2) const;
+
+    /** Value written/read by a memory event. */
+    const smt::BitVec &valueOf(int event) const;
+    /** Barrier id of a control-barrier event. */
+    const smt::BitVec &barrierIdOf(int event) const;
+
+    /** Guard of the normal-termination node of a thread. */
+    smt::Lit threadTerminated(int t) const;
+
+    /** Final value of a register (its value at the thread's exit). */
+    smt::BitVec finalRegister(int thread, const std::string &reg);
+    /** Final value of a physical memory location (co-maximal write). */
+    smt::BitVec finalMemValue(int physLoc);
+
+    /** w is executed and co-maximal for its location. */
+    smt::Lit coMaximalLit(int w);
+
+    /** Encode a litmus condition over the final state. */
+    smt::Lit condLit(const prog::Cond &cond);
+
+    // --- raw pair-literal maps (for witness extraction) ------------------
+    const std::map<uint64_t, smt::Lit> &rfMap() const { return rf_; }
+    const std::map<uint64_t, smt::Lit> &coMap() const { return co_; }
+    const std::map<uint64_t, smt::Lit> &syncFenceMap() const
+    {
+        return syncFence_;
+    }
+
+  private:
+    using RegEnv = std::map<std::string, smt::BitVec>;
+
+    smt::BitVec evalOperand(const RegEnv &env, const prog::Operand &op);
+    void encodeThread(int t);
+    void encodeRf();
+    void encodeCo();
+    void encodeSyncFence();
+    smt::BitVec condTermValue(const prog::CondTerm &term);
+
+    analysis::RelationAnalysis &ra_;
+    smt::Circuit &circuit_;
+    smt::BitVecBuilder bv_;
+    EncoderOptions opts_;
+
+    std::vector<smt::Lit> guards_;            // per node
+    std::vector<smt::Lit> eventExec_;         // per event
+    std::vector<RegEnv> envAfter_;            // per node
+    std::vector<std::optional<smt::BitVec>> values_;     // per event
+    std::vector<std::optional<smt::BitVec>> barrierIds_; // per event
+
+    std::map<uint64_t, smt::Lit> rf_;
+    std::map<uint64_t, smt::Lit> co_;
+    std::map<uint64_t, smt::Lit> syncFence_;
+    std::map<int, smt::Lit> coMax_;
+    std::map<int, smt::BitVec> finalMem_;
+
+    static uint64_t key(int a, int b)
+    {
+        return cat::PairSet::key(a, b);
+    }
+};
+
+} // namespace gpumc::encoder
+
+#endif // GPUMC_ENCODER_PROGRAM_ENCODER_HPP

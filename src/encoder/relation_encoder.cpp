@@ -1,0 +1,453 @@
+#include "encoder/relation_encoder.hpp"
+
+#include <algorithm>
+#include <functional>
+
+namespace gpumc::encoder {
+
+using cat::Expr;
+using cat::ExprKind;
+using cat::NameRes;
+using cat::PairSet;
+using smt::Lit;
+
+namespace {
+
+/**
+ * Upper bound on the longest path length in the support graph of
+ * @p edges: Tarjan SCC condensation, then the heaviest path through
+ * the DAG weighted by SCC sizes. The closure encoding needs
+ * ceil(log2(L)) squaring layers to cover paths of length L.
+ */
+int
+longestPathBound(const PairSet &edges)
+{
+    if (edges.empty())
+        return 1;
+    // Collect nodes and adjacency.
+    std::map<int, std::vector<int>> succ;
+    std::map<int, int> index;
+    for (auto [a, b] : edges.pairs()) {
+        succ[a].push_back(b);
+        succ.try_emplace(b);
+    }
+    int n = 0;
+    for (auto &[node, _] : succ)
+        index[node] = n++;
+
+    // Iterative Tarjan.
+    std::vector<int> low(n, -1), disc(n, -1), sccOf(n, -1);
+    std::vector<bool> onStack(n, false);
+    std::vector<int> stack;
+    std::vector<int> sccSize;
+    int timer = 0;
+    std::vector<int> nodes(n);
+    for (auto &[node, idx] : index)
+        nodes[idx] = node;
+
+    struct Frame {
+        int v;
+        size_t childIdx;
+    };
+    for (int start = 0; start < n; ++start) {
+        if (disc[start] != -1)
+            continue;
+        std::vector<Frame> frames{{start, 0}};
+        while (!frames.empty()) {
+            Frame &f = frames.back();
+            int v = f.v;
+            if (f.childIdx == 0) {
+                disc[v] = low[v] = timer++;
+                stack.push_back(v);
+                onStack[v] = true;
+            }
+            const auto &children = succ[nodes[v]];
+            bool descended = false;
+            while (f.childIdx < children.size()) {
+                int w = index[children[f.childIdx++]];
+                if (disc[w] == -1) {
+                    frames.push_back({w, 0});
+                    descended = true;
+                    break;
+                }
+                if (onStack[w])
+                    low[v] = std::min(low[v], disc[w]);
+            }
+            if (descended)
+                continue;
+            if (low[v] == disc[v]) {
+                int size = 0;
+                while (true) {
+                    int w = stack.back();
+                    stack.pop_back();
+                    onStack[w] = false;
+                    sccOf[w] = static_cast<int>(sccSize.size());
+                    size++;
+                    if (w == v)
+                        break;
+                }
+                sccSize.push_back(size);
+            }
+            frames.pop_back();
+            if (!frames.empty()) {
+                Frame &parent = frames.back();
+                low[parent.v] = std::min(low[parent.v], low[v]);
+            }
+        }
+    }
+
+    // Longest path through the condensation (SCCs are numbered in
+    // reverse topological order by Tarjan).
+    int numScc = static_cast<int>(sccSize.size());
+    std::vector<int> best(numScc, 0);
+    for (int scc = 0; scc < numScc; ++scc)
+        best[scc] = sccSize[scc];
+    for (int scc = 0; scc < numScc; ++scc) {
+        // Successor SCCs have smaller Tarjan indices; process ascending
+        // so successors are finalized first.
+        for (auto [a, b] : edges.pairs()) {
+            if (sccOf[index[a]] != scc)
+                continue;
+            int target = sccOf[index[b]];
+            if (target != scc)
+                best[scc] = std::max(best[scc],
+                                     sccSize[scc] + best[target]);
+        }
+    }
+    return *std::max_element(best.begin(), best.end());
+}
+
+} // namespace
+
+RelationEncoder::RelationEncoder(analysis::RelationAnalysis &ra,
+                                 ProgramEncoder &pe)
+    : ra_(ra), pe_(pe), c_(pe.circuit())
+{
+    // Consistency axioms forbid relation membership (want-false);
+    // flagged axioms are asserted non-empty (want-true).
+    for (const cat::Axiom &axiom : ra_.model().axioms()) {
+        markPolarity(*axiom.expr,
+                     axiom.kind == cat::AxiomKind::FlagNonEmpty);
+    }
+}
+
+void
+RelationEncoder::markPolarity(const Expr &expr, bool solverWantsTrue)
+{
+    auto &seen = solverWantsTrue ? wantTrue_ : wantFalse_;
+    if (!seen.insert(&expr).second)
+        return;
+    switch (expr.kind) {
+      case ExprKind::Name:
+        if (expr.resolution == NameRes::LetRef) {
+            markPolarity(*ra_.model().lets()[expr.letIndex].expr,
+                         solverWantsTrue);
+        }
+        return;
+      case ExprKind::Diff:
+        markPolarity(*expr.lhs, solverWantsTrue);
+        markPolarity(*expr.rhs, !solverWantsTrue); // flipped
+        return;
+      case ExprKind::Union:
+      case ExprKind::Inter:
+      case ExprKind::Seq:
+        markPolarity(*expr.lhs, solverWantsTrue);
+        markPolarity(*expr.rhs, solverWantsTrue);
+        return;
+      case ExprKind::Cartesian:
+      case ExprKind::Bracket:
+        return; // static membership
+      case ExprKind::Inverse:
+      case ExprKind::TransClosure:
+      case ExprKind::ReflTransClosure:
+      case ExprKind::Optional:
+        markPolarity(*expr.lhs, solverWantsTrue);
+        return;
+    }
+}
+
+const std::unordered_map<int, std::vector<int>> &
+RelationEncoder::successors(const Expr &expr)
+{
+    auto it = succCache_.find(&expr);
+    if (it != succCache_.end())
+        return it->second;
+    std::unordered_map<int, std::vector<int>> succ;
+    for (auto [a, b] : ra_.boundsOf(expr).ub.pairs())
+        succ[a].push_back(b);
+    return succCache_.emplace(&expr, std::move(succ)).first->second;
+}
+
+Lit
+RelationEncoder::encode(const Expr &expr, int a, int b)
+{
+    const analysis::Bounds &bounds = ra_.boundsOf(expr);
+    if (!bounds.ub.contains(a, b))
+        return c_.falseLit();
+
+    PairKey cacheKey{&expr, PairSet::key(a, b)};
+    auto it = cache_.find(cacheKey);
+    if (it != cache_.end())
+        return it->second;
+
+    Lit execBoth = c_.mkAnd(pe_.execLit(a), pe_.execLit(b));
+    Lit result;
+    if (bounds.lb.contains(a, b) &&
+        (pe_.options().useLowerBounds || expr.kind == ExprKind::Name)) {
+        result = execBoth;
+    } else {
+        switch (expr.kind) {
+          case ExprKind::Name:
+            if (expr.resolution == NameRes::LetRef) {
+                result = encode(*ra_.model().lets()[expr.letIndex].expr,
+                                a, b);
+            } else {
+                result = encodeBase(expr.name, a, b);
+            }
+            break;
+          case ExprKind::Union:
+            result = c_.mkOr(encode(*expr.lhs, a, b),
+                             encode(*expr.rhs, a, b));
+            break;
+          case ExprKind::Inter:
+            result = c_.mkAnd(encode(*expr.lhs, a, b),
+                              encode(*expr.rhs, a, b));
+            break;
+          case ExprKind::Diff:
+            result = c_.mkAnd(encode(*expr.lhs, a, b),
+                              c_.mkNot(encode(*expr.rhs, a, b)));
+            break;
+          case ExprKind::Seq:
+            result = encodeSeq(expr, a, b);
+            break;
+          case ExprKind::Cartesian:
+            // Membership is static; the upper bound already filtered.
+            result = execBoth;
+            break;
+          case ExprKind::Inverse:
+            result = encode(*expr.lhs, b, a);
+            break;
+          case ExprKind::Bracket:
+            GPUMC_ASSERT(a == b, "bracket bound must be diagonal");
+            result = pe_.execLit(a);
+            break;
+          case ExprKind::Optional:
+            result = a == b ? pe_.execLit(a) : encode(*expr.lhs, a, b);
+            break;
+          case ExprKind::ReflTransClosure:
+            result = a == b ? pe_.execLit(a) : encodeClosure(expr, a, b);
+            break;
+          case ExprKind::TransClosure:
+            result = encodeClosure(expr, a, b);
+            break;
+          default:
+            GPUMC_PANIC("unhandled relation expression");
+        }
+    }
+    cache_.emplace(cacheKey, result);
+    return result;
+}
+
+Lit
+RelationEncoder::encodeBase(const std::string &name, int a, int b)
+{
+    if (name == "rf")
+        return pe_.rfLit(a, b);
+    if (name == "co")
+        return pe_.coLit(a, b);
+    if (name == "sync_fence")
+        return pe_.syncFenceLit(a, b);
+    Lit execBoth = c_.mkAnd(pe_.execLit(a), pe_.execLit(b));
+    if (name == "syncbar" || name == "sync_barrier") {
+        // Reached only for dynamic barrier ids (static equality is a
+        // lower-bound pair): require equal runtime ids.
+        return c_.mkAnd(execBoth,
+                        pe_.bv().eq(pe_.barrierIdOf(a),
+                                    pe_.barrierIdOf(b)));
+    }
+    // All remaining base relations are static.
+    return execBoth;
+}
+
+Lit
+RelationEncoder::encodeSeq(const Expr &expr, int a, int b)
+{
+    const PairSet &rhsUb = ra_.boundsOf(*expr.rhs).ub;
+    const auto &succ = successors(*expr.lhs);
+    auto it = succ.find(a);
+    if (it == succ.end())
+        return c_.falseLit();
+    std::vector<Lit> cases;
+    for (int k : it->second) {
+        if (!rhsUb.contains(k, b))
+            continue;
+        cases.push_back(c_.mkAnd(encode(*expr.lhs, a, k),
+                                 encode(*expr.rhs, k, b)));
+    }
+    return c_.mkOr(cases);
+}
+
+Lit
+RelationEncoder::encodeClosure(const Expr &expr, int a, int b)
+{
+    auto infoIt = closureInfo_.find(&expr);
+    if (infoIt == closureInfo_.end()) {
+        ClosureInfo info;
+        const PairSet &childUb = ra_.boundsOf(*expr.lhs).ub;
+        info.closUb = childUb.transitiveClosure();
+        for (auto [x, y] : childUb.pairs())
+            info.childSucc[x].push_back(y);
+        int longestPath = longestPathBound(childUb);
+        info.idxBits = 1;
+        while ((1 << info.idxBits) < longestPath + 1)
+            info.idxBits++;
+        infoIt = closureInfo_.emplace(&expr, std::move(info)).first;
+    }
+    return closureLit(infoIt->second, expr, a, b);
+}
+
+/**
+ * Demand-driven least-fixpoint encoding of transitive closure: a pair
+ * variable tc(a,b) is *justified* either by the child edge (a,b)
+ * directly, or by a child edge (a,k) plus tc(k,b) whose justification
+ * index is strictly smaller — the decreasing index rules out circular
+ * self-support, so the encoding is exactly the least fix-point.
+ * Completeness (paths imply tc) is asserted edge-wise.
+ *
+ * Only pairs that are actually queried (and the columns feeding them)
+ * are materialized.
+ */
+Lit
+RelationEncoder::closureLit(ClosureInfo &info, const Expr &expr, int a,
+                            int b)
+{
+    if (!info.closUb.contains(a, b))
+        return c_.falseLit();
+    PairKey key{&expr, PairSet::key(a, b)};
+    auto it = closurePairs_.find(key);
+    if (it != closurePairs_.end())
+        return it->second;
+
+    // Polarity: in want-false-only positions the solver already
+    // prefers the least fix-point, so the cheap completeness direction
+    // is enough; otherwise well-foundedness indices are required.
+    bool sound = needsSoundness(expr);
+
+    // Insert the variable before recursing: cycles hit the memo.
+    Lit v = c_.freshVar();
+    closurePairs_.emplace(key, v);
+    if (sound) {
+        closureIdx_.emplace(key, pe_.bv().fresh(info.idxBits));
+    }
+
+    std::vector<Lit> justifications;
+    auto succIt = info.childSucc.find(a);
+    if (succIt != info.childSucc.end()) {
+        for (int k : succIt->second) {
+            Lit step = encode(*expr.lhs, a, k);
+            if (c_.isFalse(step))
+                continue;
+            if (k == b) {
+                // Direct child edge: justifies tc unconditionally.
+                c_.assertImplies(step, v);
+                justifications.push_back(step);
+                continue;
+            }
+            if (!info.closUb.contains(k, b))
+                continue;
+            Lit rest = closureLit(info, expr, k, b);
+            if (c_.isFalse(rest))
+                continue;
+            Lit both = c_.mkAnd(step, rest);
+            // Completeness: any step + suffix implies the closure.
+            c_.assertImplies(both, v);
+            if (sound) {
+                const smt::BitVec &restIdx =
+                    closureIdx_.at(PairKey{&expr, PairSet::key(k, b)});
+                const smt::BitVec &ownIdx = closureIdx_.at(key);
+                justifications.push_back(
+                    c_.mkAnd(both, pe_.bv().ult(restIdx, ownIdx)));
+            }
+        }
+    }
+    // Soundness: the pair holds only with a well-founded justification.
+    if (sound)
+        c_.assertImplies(v, c_.mkOr(justifications));
+    return v;
+}
+
+void
+RelationEncoder::assertAcyclic(const Expr &expr)
+{
+    const PairSet &ub = ra_.boundsOf(expr).ub;
+    if (ub.empty())
+        return;
+    int n = pe_.unrolled().numEvents();
+    int clockBits = 1;
+    while ((1 << clockBits) < n + 1)
+        clockBits++;
+    std::map<int, smt::BitVec> clock;
+    auto clockOf = [&](int e) -> const smt::BitVec & {
+        auto it = clock.find(e);
+        if (it == clock.end())
+            it = clock.emplace(e, pe_.bv().fresh(clockBits)).first;
+        return it->second;
+    };
+    for (auto [a, b] : ub.pairs()) {
+        if (a == b) {
+            c_.assertLit(c_.mkNot(encode(expr, a, b)));
+            continue;
+        }
+        c_.assertImplies(encode(expr, a, b),
+                         pe_.bv().ult(clockOf(a), clockOf(b)));
+    }
+}
+
+void
+RelationEncoder::assertAxioms()
+{
+    for (const cat::Axiom &axiom : ra_.model().axioms()) {
+        switch (axiom.kind) {
+          case cat::AxiomKind::Empty:
+            for (auto [a, b] : ra_.boundsOf(*axiom.expr).ub.pairs())
+                c_.assertLit(c_.mkNot(encode(*axiom.expr, a, b)));
+            break;
+          case cat::AxiomKind::Irreflexive:
+            for (auto [a, b] : ra_.boundsOf(*axiom.expr).ub.pairs()) {
+                if (a == b)
+                    c_.assertLit(c_.mkNot(encode(*axiom.expr, a, b)));
+            }
+            break;
+          case cat::AxiomKind::Acyclic:
+            assertAcyclic(*axiom.expr);
+            break;
+          case cat::AxiomKind::FlagNonEmpty:
+            break; // handled by encodeFlags
+        }
+    }
+}
+
+std::vector<FlagViolation>
+RelationEncoder::encodeFlags()
+{
+    std::vector<FlagViolation> out;
+    for (const cat::Axiom &axiom : ra_.model().axioms()) {
+        if (axiom.kind != cat::AxiomKind::FlagNonEmpty)
+            continue;
+        FlagViolation violation;
+        violation.axiom = &axiom;
+        std::vector<Lit> lits;
+        for (auto [a, b] : ra_.boundsOf(*axiom.expr).ub.pairs()) {
+            Lit lit = encode(*axiom.expr, a, b);
+            if (c_.isFalse(lit))
+                continue;
+            violation.pairLits.push_back({{a, b}, lit});
+            lits.push_back(lit);
+        }
+        violation.lit = c_.mkOr(lits);
+        out.push_back(std::move(violation));
+    }
+    return out;
+}
+
+} // namespace gpumc::encoder

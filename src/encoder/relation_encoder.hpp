@@ -1,0 +1,115 @@
+/**
+ * @file
+ * SMT encoding of derived `.cat` relations and axioms over the sparse
+ * upper bounds from the relation analysis (Sections 6.2/6.3).
+ *
+ * Each (expression, event-pair) gets a literal:
+ *  - pairs outside the upper bound are the constant false;
+ *  - pairs inside the lower bound reduce to exec(a) & exec(b);
+ *  - other pairs get their definitional formula (union = or, ...).
+ *
+ * Transitive closures are encoded exactly (least fix-point) by
+ * stratified repeated squaring over the static upper bound; levels are
+ * stratified, so no cyclic justification can occur.
+ */
+
+#ifndef GPUMC_ENCODER_RELATION_ENCODER_HPP
+#define GPUMC_ENCODER_RELATION_ENCODER_HPP
+
+#include <set>
+#include <unordered_map>
+
+#include "encoder/program_encoder.hpp"
+
+namespace gpumc::encoder {
+
+/** One flagged (`flag ~empty`) axiom's encoded violation condition. */
+struct FlagViolation {
+    const cat::Axiom *axiom = nullptr;
+    smt::Lit lit;                  // true iff the flagged set is non-empty
+    std::vector<std::pair<cat::EventPair, smt::Lit>> pairLits;
+};
+
+class RelationEncoder {
+  public:
+    RelationEncoder(analysis::RelationAnalysis &ra, ProgramEncoder &pe);
+
+    /** Literal for "pair (a,b) is in relation @p expr". */
+    smt::Lit encode(const cat::Expr &expr, int a, int b);
+
+    /** Assert all non-flag axioms of the model. */
+    void assertAxioms();
+
+    /** Build violation literals for all `flag ~empty` axioms. */
+    std::vector<FlagViolation> encodeFlags();
+
+  private:
+    /** Per-closure-node static data, built on first use. */
+    struct ClosureInfo {
+        cat::PairSet closUb;                      // tc of the child ub
+        std::unordered_map<int, std::vector<int>> childSucc;
+        int idxBits = 4;
+    };
+
+    smt::Lit encodeBase(const std::string &name, int a, int b);
+    smt::Lit encodeSeq(const cat::Expr &expr, int a, int b);
+    smt::Lit encodeClosure(const cat::Expr &expr, int a, int b);
+    smt::Lit closureLit(ClosureInfo &info, const cat::Expr &expr, int a,
+                        int b);
+    void assertAcyclic(const cat::Expr &expr);
+
+    /**
+     * Polarity analysis: mark sub-expressions by whether a satisfying
+     * assignment could *benefit* from the relation being spuriously
+     * true ("want-true", e.g. under a difference inside a consistency
+     * axiom). Closures only reachable in want-false positions can be
+     * encoded with the completeness direction alone — the solver
+     * already prefers the least fix-point there. Closures reachable in
+     * a want-true position need the decreasing-index justification.
+     */
+    void markPolarity(const cat::Expr &expr, bool solverWantsTrue);
+    bool needsSoundness(const cat::Expr &expr) const
+    {
+        return pe_.options().forceClosureSoundness ||
+               wantTrue_.count(&expr) != 0;
+    }
+
+    /** Successor adjacency of an upper bound, cached per expression. */
+    const std::unordered_map<int, std::vector<int>> &
+    successors(const cat::Expr &expr);
+
+    struct PairKey {
+        const void *node;
+        uint64_t pair;
+        bool operator==(const PairKey &o) const
+        {
+            return node == o.node && pair == o.pair;
+        }
+    };
+    struct PairKeyHash {
+        size_t operator()(const PairKey &k) const
+        {
+            return std::hash<const void *>()(k.node) ^
+                   std::hash<uint64_t>()(k.pair * 0x9e3779b97f4a7c15ULL);
+        }
+    };
+
+    analysis::RelationAnalysis &ra_;
+    ProgramEncoder &pe_;
+    smt::Circuit &c_;
+
+    std::unordered_map<PairKey, smt::Lit, PairKeyHash> cache_;
+    std::unordered_map<const cat::Expr *, ClosureInfo> closureInfo_;
+    // Closure pair variables and their justification-index vectors.
+    std::unordered_map<PairKey, smt::Lit, PairKeyHash> closurePairs_;
+    std::unordered_map<PairKey, smt::BitVec, PairKeyHash> closureIdx_;
+    std::unordered_map<const cat::Expr *,
+                       std::unordered_map<int, std::vector<int>>>
+        succCache_;
+    std::set<const cat::Expr *> wantTrue_;
+    std::set<const cat::Expr *> wantFalse_;
+};
+
+} // namespace gpumc::encoder
+
+#endif // GPUMC_ENCODER_RELATION_ENCODER_HPP

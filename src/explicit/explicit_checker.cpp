@@ -1,0 +1,632 @@
+#include "explicit/explicit_checker.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "analysis/relation_analysis.hpp"
+#include "cat/evaluator.hpp"
+#include "program/event.hpp"
+#include "program/unroller.hpp"
+#include "support/stats.hpp"
+
+namespace gpumc::expl {
+
+using cat::PairSet;
+using prog::Event;
+using prog::EventKind;
+using prog::Opcode;
+using prog::RmwKind;
+
+namespace {
+
+constexpr int kValueBits = 8;
+constexpr int64_t kValueMask = (1 << kValueBits) - 1;
+
+/** ExecutionView over a fully-materialized behaviour. */
+class ExplicitView : public cat::ExecutionView {
+  public:
+    ExplicitView(const prog::UnrolledProgram &up,
+                 std::map<std::string, PairSet> rels)
+        : up_(&up), rels_(std::move(rels))
+    {
+    }
+
+    int numEvents() const override { return up_->numEvents(); }
+
+    bool inSet(int event, const std::string &tag) const override
+    {
+        return prog::eventHasTag(up_->events[event], tag);
+    }
+
+    const PairSet &baseRel(const std::string &name) const override
+    {
+        auto it = rels_.find(name);
+        GPUMC_ASSERT(it != rels_.end(), "unknown base relation ", name);
+        return it->second;
+    }
+
+  private:
+    const prog::UnrolledProgram *up_;
+    std::map<std::string, PairSet> rels_;
+};
+
+} // namespace
+
+struct ExplicitChecker::Impl {
+    const prog::Program &program;
+    const cat::CatModel &model;
+    ExplicitOptions opts;
+
+    prog::UnrolledProgram up;
+    analysis::ExecAnalysis exec;
+    analysis::RelationAnalysis ra;
+
+    std::vector<int> reads;                    // read event ids
+    std::vector<std::vector<int>> candidates;  // rf candidates per read
+    std::vector<int> rfChoice;                 // current assignment
+
+    // Simulation outputs per rf assignment.
+    std::map<int, int64_t> values;             // event -> value
+    std::map<int, int64_t> barrierIds;         // barrier event -> id
+    std::map<std::string, int64_t> finalRegs;  // "P0:r1" -> value
+
+    Stopwatch watch;
+    ExplicitResult result;
+    bool condTrueSomewhere = false;
+    bool condFalseSomewhere = false;
+
+    Impl(const prog::Program &p, const cat::CatModel &m,
+         ExplicitOptions o)
+        : program(p), model(m), opts(o), up(prog::unroll(p, 1)),
+          exec(up), ra(exec, m)
+    {
+    }
+
+    bool overBudget()
+    {
+        if (opts.maxCandidates &&
+            result.candidatesExplored >= opts.maxCandidates) {
+            result.timedOut = true;
+            return true;
+        }
+        if (opts.timeoutMs > 0 && watch.elapsedMs() > opts.timeoutMs) {
+            result.timedOut = true;
+            return true;
+        }
+        return false;
+    }
+
+    // ---- support checks -------------------------------------------------
+
+    bool checkSupported()
+    {
+        if (!program.isStraightLine()) {
+            result.supported = false;
+            result.unsupportedReason = "control-flow instructions";
+            return false;
+        }
+        for (const prog::Thread &t : program.threads) {
+            for (const prog::Instruction &ins : t.instrs) {
+                if (ins.op == Opcode::Rmw &&
+                    ins.rmwKind == RmwKind::Cas) {
+                    result.supported = false;
+                    result.unsupportedReason = "compare-and-swap";
+                    return false;
+                }
+            }
+        }
+        return true;
+    }
+
+    bool condUsesMemory(const prog::Cond &cond) const
+    {
+        switch (cond.kind) {
+          case prog::Cond::Kind::And:
+          case prog::Cond::Kind::Or:
+            return condUsesMemory(*cond.lhs) || condUsesMemory(*cond.rhs);
+          case prog::Cond::Kind::Not:
+            return condUsesMemory(*cond.lhs);
+          case prog::Cond::Kind::Eq:
+          case prog::Cond::Kind::Ne:
+            return cond.tl.kind == prog::CondTerm::Kind::Mem ||
+                   cond.tr.kind == prog::CondTerm::Kind::Mem;
+          case prog::Cond::Kind::True:
+            return false;
+        }
+        return false;
+    }
+
+    // ---- value simulation -----------------------------------------------
+
+    /**
+     * Simulate all threads given the current rf assignment. Returns
+     * false if the values could not be resolved consistently (only
+     * possible for cyclic value dependencies after enumeration).
+     */
+    bool simulate()
+    {
+        values.clear();
+        barrierIds.clear();
+        finalRegs.clear();
+        for (int e = 0; e < up.numInitEvents; ++e)
+            values[e] = up.events[e].initValue & kValueMask;
+
+        // Fix-point passes; each pass may resolve more reads.
+        bool changed = true;
+        int guardPasses = up.numEvents() + 2;
+        while (changed && guardPasses-- > 0) {
+            changed = false;
+            simulatePass(changed);
+        }
+
+        // Unresolved reads form value-dependency cycles; enumerate them
+        // over the program's value universe.
+        std::vector<int> unresolved;
+        for (size_t i = 0; i < reads.size(); ++i) {
+            if (!values.count(reads[i]))
+                unresolved.push_back(static_cast<int>(i));
+        }
+        if (unresolved.empty())
+            return finishSimulation();
+        return enumerateUnresolved(unresolved, 0);
+    }
+
+    bool enumerateUnresolved(const std::vector<int> &unresolved,
+                             size_t index)
+    {
+        if (index == unresolved.size())
+            return finishSimulation();
+        for (int64_t v : program.valueUniverse()) {
+            values[reads[unresolved[index]]] = v & kValueMask;
+            if (enumerateUnresolved(unresolved, index + 1))
+                return true;
+        }
+        values.erase(reads[unresolved[index]]);
+        return false;
+    }
+
+    /** Validate rf value-consistency and capture final registers. */
+    bool finishSimulation()
+    {
+        bool changed = true;
+        simulatePass(changed); // recompute with all reads bound
+        for (size_t i = 0; i < reads.size(); ++i) {
+            int r = reads[i], w = rfChoice[i];
+            if (!values.count(r) || !values.count(w) ||
+                values[r] != values[w]) {
+                return false;
+            }
+        }
+        return true;
+    }
+
+    void simulatePass(bool &changed)
+    {
+        for (int t = 0; t < program.numThreads(); ++t) {
+            std::map<std::string, std::optional<int64_t>> env;
+            auto evalOp =
+                [&](const prog::Operand &op) -> std::optional<int64_t> {
+                if (!op.isReg())
+                    return op.value & kValueMask;
+                auto it = env.find(op.reg);
+                if (it == env.end())
+                    return 0; // unassigned registers read 0
+                return it->second;
+            };
+            auto setValue = [&](int event, std::optional<int64_t> v) {
+                if (!v)
+                    return;
+                int64_t masked = *v & kValueMask;
+                auto it = values.find(event);
+                if (it == values.end() || it->second != masked) {
+                    values[event] = masked;
+                    changed = true;
+                }
+            };
+
+            for (int idx : up.threadNodes[t]) {
+                const prog::UNode &node = up.nodes[idx];
+                if (node.special != prog::NodeSpecial::None || !node.instr)
+                    continue;
+                const prog::Instruction &ins = *node.instr;
+                switch (ins.op) {
+                  case Opcode::Load: {
+                    // The read's value comes from its rf source.
+                    auto pos = std::find(reads.begin(), reads.end(),
+                                         node.readEvent);
+                    int w = rfChoice[pos - reads.begin()];
+                    std::optional<int64_t> v;
+                    if (values.count(node.readEvent)) {
+                        v = values[node.readEvent]; // enumerated cycle
+                    } else if (values.count(w)) {
+                        v = values[w];
+                        setValue(node.readEvent, v);
+                    }
+                    env[ins.dst] = v;
+                    break;
+                  }
+                  case Opcode::Store:
+                    setValue(node.writeEvent, evalOp(ins.src));
+                    break;
+                  case Opcode::Rmw: {
+                    auto pos = std::find(reads.begin(), reads.end(),
+                                         node.readEvent);
+                    int w = rfChoice[pos - reads.begin()];
+                    std::optional<int64_t> old;
+                    if (values.count(node.readEvent))
+                        old = values[node.readEvent];
+                    else if (values.count(w)) {
+                        old = values[w];
+                        setValue(node.readEvent, old);
+                    }
+                    std::optional<int64_t> operand = evalOp(ins.src);
+                    if (ins.rmwKind == RmwKind::Add) {
+                        if (old && operand)
+                            setValue(node.writeEvent, *old + *operand);
+                    } else { // Exchange
+                        setValue(node.writeEvent, operand);
+                    }
+                    env[ins.dst] = old;
+                    break;
+                  }
+                  case Opcode::Barrier: {
+                    std::optional<int64_t> id = evalOp(ins.barrierId);
+                    if (id)
+                        barrierIds[node.eventId] = *id & kValueMask;
+                    break;
+                  }
+                  case Opcode::Mov:
+                    env[ins.dst] = evalOp(ins.src);
+                    break;
+                  case Opcode::AddReg: {
+                    auto a = evalOp(ins.branchLhs), b = evalOp(ins.src);
+                    env[ins.dst] = (a && b)
+                        ? std::optional<int64_t>((*a + *b) & kValueMask)
+                        : std::nullopt;
+                    break;
+                  }
+                  default:
+                    break;
+                }
+            }
+            for (const auto &[reg, v] : env) {
+                if (v) {
+                    finalRegs[program.threads[t].name + ":" + reg] = *v;
+                }
+            }
+        }
+    }
+
+    // ---- coherence enumeration -------------------------------------------
+
+    /** Writes per location (non-init). */
+    std::map<int, std::vector<int>> writesPerLoc() const
+    {
+        std::map<int, std::vector<int>> out;
+        for (int e = up.numInitEvents; e < up.numEvents(); ++e) {
+            const Event &ev = up.events[e];
+            if (ev.kind == EventKind::Write)
+                out[ev.physLoc].push_back(e);
+        }
+        return out;
+    }
+
+    PairSet initCoEdges() const
+    {
+        PairSet co;
+        for (int i = 0; i < up.numInitEvents; ++i) {
+            for (int e = up.numInitEvents; e < up.numEvents(); ++e) {
+                const Event &ev = up.events[e];
+                if (ev.kind == EventKind::Write &&
+                    ev.physLoc == up.events[i].physLoc) {
+                    co.add(i, e);
+                }
+            }
+        }
+        return co;
+    }
+
+    /** Enumerate total co (Vulkan), invoking fn for each. */
+    template <typename Fn>
+    bool enumerateTotalCo(Fn &&fn)
+    {
+        std::map<int, std::vector<int>> perLoc = writesPerLoc();
+        std::vector<std::vector<std::vector<int>>> perms; // per loc
+        for (auto &[loc, writes] : perLoc) {
+            (void)loc;
+            std::sort(writes.begin(), writes.end());
+            std::vector<std::vector<int>> locPerms;
+            do {
+                locPerms.push_back(writes);
+            } while (std::next_permutation(writes.begin(), writes.end()));
+            perms.push_back(std::move(locPerms));
+        }
+        std::vector<size_t> pick(perms.size(), 0);
+        while (true) {
+            PairSet co = initCoEdges();
+            for (size_t k = 0; k < perms.size(); ++k) {
+                const std::vector<int> &order = perms[k][pick[k]];
+                for (size_t i = 0; i < order.size(); ++i) {
+                    for (size_t j = i + 1; j < order.size(); ++j)
+                        co.add(order[i], order[j]);
+                }
+            }
+            if (!fn(co))
+                return false;
+            // Advance the mixed-radix counter.
+            size_t k = 0;
+            while (k < perms.size() && ++pick[k] == perms[k].size()) {
+                pick[k] = 0;
+                k++;
+            }
+            if (k == perms.size())
+                return true;
+        }
+    }
+
+    /** Enumerate partial transitive co (PTX), invoking fn for each. */
+    template <typename Fn>
+    bool enumeratePartialCo(Fn &&fn)
+    {
+        std::map<int, std::vector<int>> perLoc = writesPerLoc();
+        std::vector<std::pair<int, int>> pairs; // unordered write pairs
+        for (auto &[loc, writes] : perLoc) {
+            (void)loc;
+            for (size_t i = 0; i < writes.size(); ++i) {
+                for (size_t j = i + 1; j < writes.size(); ++j)
+                    pairs.push_back({writes[i], writes[j]});
+            }
+        }
+        std::vector<int> choice(pairs.size(), 0); // 0 unordered, 1 <, 2 >
+        while (true) {
+            PairSet co = initCoEdges();
+            for (size_t k = 0; k < pairs.size(); ++k) {
+                if (choice[k] == 1)
+                    co.add(pairs[k].first, pairs[k].second);
+                else if (choice[k] == 2)
+                    co.add(pairs[k].second, pairs[k].first);
+            }
+            PairSet closed = co.transitiveClosure();
+            // Skip assignments whose closure contradicts or duplicates
+            // another assignment (antisymmetry / unordered violated).
+            bool canonical = true;
+            for (size_t k = 0; k < pairs.size() && canonical; ++k) {
+                bool fwd = closed.contains(pairs[k].first,
+                                           pairs[k].second);
+                bool bwd = closed.contains(pairs[k].second,
+                                           pairs[k].first);
+                if (fwd && bwd)
+                    canonical = false; // cyclic: invalid
+                if (choice[k] == 0 && (fwd || bwd))
+                    canonical = false; // duplicate of an ordered choice
+            }
+            if (canonical && !fn(closed))
+                return false;
+            size_t k = 0;
+            while (k < choice.size() && ++choice[k] == 3) {
+                choice[k] = 0;
+                k++;
+            }
+            if (k == choice.size())
+                return true;
+        }
+    }
+
+    /** Enumerate sync_fence total orders (PTX SC fences). */
+    template <typename Fn>
+    bool enumerateSyncFence(Fn &&fn)
+    {
+        std::vector<int> fences;
+        for (int e = 0; e < up.numEvents(); ++e) {
+            const Event &ev = up.events[e];
+            if (ev.kind == EventKind::Fence && ev.tags.count("SC"))
+                fences.push_back(e);
+        }
+        if (fences.empty() || program.arch != prog::Arch::Ptx) {
+            PairSet empty;
+            return fn(empty);
+        }
+        const PairSet &ub = ra.baseBounds("sync_fence").ub;
+        std::sort(fences.begin(), fences.end());
+        do {
+            PairSet sf;
+            for (size_t i = 0; i < fences.size(); ++i) {
+                for (size_t j = i + 1; j < fences.size(); ++j) {
+                    if (ub.contains(fences[i], fences[j]))
+                        sf.add(fences[i], fences[j]);
+                }
+            }
+            if (!fn(sf))
+                return false;
+        } while (std::next_permutation(fences.begin(), fences.end()));
+        return true;
+    }
+
+    // ---- behaviour evaluation --------------------------------------------
+
+    std::map<std::string, PairSet> staticRels()
+    {
+        std::map<std::string, PairSet> rels;
+        for (const char *name :
+             {"po", "loc", "vloc", "id", "int", "ext", "addr", "data",
+              "ctrl", "rmw", "sr", "scta", "ssg", "swg", "sqf", "ssw"}) {
+            rels[name] = ra.baseBounds(name).ub;
+        }
+        // Barrier relations from the concrete runtime ids.
+        for (const char *name : {"syncbar", "sync_barrier"}) {
+            PairSet out;
+            for (auto [a, b] : ra.baseBounds(name).ub.pairs()) {
+                auto ia = barrierIds.find(a), ib = barrierIds.find(b);
+                if (ia != barrierIds.end() && ib != barrierIds.end() &&
+                    ia->second == ib->second) {
+                    out.add(a, b);
+                }
+            }
+            rels[name] = std::move(out);
+        }
+        return rels;
+    }
+
+    int64_t evalTerm(const prog::CondTerm &term, const PairSet &co)
+    {
+        switch (term.kind) {
+          case prog::CondTerm::Kind::Const:
+            return term.value;
+          case prog::CondTerm::Kind::Reg: {
+            std::string key =
+                "P" + std::to_string(term.thread) + ":" + term.name;
+            auto it = finalRegs.find(key);
+            return it == finalRegs.end() ? 0 : it->second;
+          }
+          case prog::CondTerm::Kind::Mem: {
+            int loc = program.physLoc(term.name);
+            // co-maximal executed write to loc.
+            for (int e = 0; e < up.numEvents(); ++e) {
+                const Event &ev = up.events[e];
+                if (ev.kind != EventKind::Write || ev.physLoc != loc)
+                    continue;
+                bool maximal = true;
+                for (auto [a, b] : co.pairs()) {
+                    (void)b;
+                    if (a == e)
+                        maximal = false;
+                }
+                if (maximal)
+                    return values.count(e) ? values[e] : 0;
+            }
+            return 0;
+          }
+        }
+        GPUMC_PANIC("unhandled term");
+    }
+
+    /** Evaluate one complete behaviour candidate. */
+    bool evaluateBehaviour(const PairSet &co, const PairSet &sf)
+    {
+        result.candidatesExplored++;
+        if (overBudget())
+            return false;
+
+        std::map<std::string, PairSet> rels = staticRels();
+        PairSet rf;
+        for (size_t i = 0; i < reads.size(); ++i)
+            rf.add(rfChoice[i], reads[i]);
+        rels["rf"] = std::move(rf);
+        rels["co"] = co;
+        rels["sync_fence"] = sf;
+
+        ExplicitView view(up, std::move(rels));
+        cat::RelationEvaluator evaluator(model, view);
+        if (!evaluator.consistent())
+            return true;
+
+        auto valuation = [&](const prog::CondTerm &term) {
+            return evalTerm(term, co);
+        };
+        if (program.filter &&
+            !prog::evalCond(*program.filter, valuation)) {
+            return true;
+        }
+        result.consistentBehaviours++;
+
+        bool cond = !program.assertion ||
+                    prog::evalCond(*program.assertion, valuation);
+        (cond ? condTrueSomewhere : condFalseSomewhere) = true;
+
+        if (!result.raceFound) {
+            for (const cat::AxiomCheck &check : evaluator.evalFlags()) {
+                if (!check.holds)
+                    result.raceFound = true;
+            }
+        }
+        return true;
+    }
+
+    // ---- top-level enumeration --------------------------------------------
+
+    bool enumerateRf(size_t readIndex)
+    {
+        if (readIndex == reads.size()) {
+            if (!simulate())
+                return true; // value-inconsistent rf choice: skip
+            auto withCo = [&](const PairSet &co) {
+                return enumerateSyncFence([&](const PairSet &sf) {
+                    return evaluateBehaviour(co, sf);
+                });
+            };
+            if (program.arch == prog::Arch::Ptx)
+                return enumeratePartialCo(withCo);
+            return enumerateTotalCo(withCo);
+        }
+        for (int w : candidates[readIndex]) {
+            rfChoice[readIndex] = w;
+            if (!enumerateRf(readIndex + 1))
+                return false;
+        }
+        return true;
+    }
+
+    ExplicitResult run()
+    {
+        if (!checkSupported())
+            return result;
+        if (program.assertion && condUsesMemory(*program.assertion) &&
+            program.arch == prog::Arch::Ptx) {
+            result.supported = false;
+            result.unsupportedReason =
+                "memory-valued condition under partial coherence";
+            return result;
+        }
+
+        for (int e = up.numInitEvents; e < up.numEvents(); ++e) {
+            if (up.events[e].kind == EventKind::Read)
+                reads.push_back(e);
+        }
+        const PairSet &rfUb = ra.baseBounds("rf").ub;
+        candidates.resize(reads.size());
+        for (size_t i = 0; i < reads.size(); ++i) {
+            for (auto [w, r] : rfUb.pairs()) {
+                if (r == reads[i])
+                    candidates[i].push_back(w);
+            }
+        }
+        rfChoice.assign(reads.size(), -1);
+
+        enumerateRf(0);
+
+        switch (program.assertKind) {
+          case prog::AssertKind::Exists:
+            result.conditionHolds = condTrueSomewhere;
+            break;
+          case prog::AssertKind::NotExists:
+            result.conditionHolds = !condTrueSomewhere;
+            break;
+          case prog::AssertKind::Forall:
+            result.conditionHolds = !condFalseSomewhere;
+            break;
+        }
+        result.timeMs = watch.elapsedMs();
+        return result;
+    }
+};
+
+ExplicitChecker::ExplicitChecker(const prog::Program &program,
+                                 const cat::CatModel &model,
+                                 ExplicitOptions options)
+    : impl_(new Impl(program, model, options))
+{
+}
+
+ExplicitChecker::~ExplicitChecker()
+{
+    delete impl_;
+}
+
+ExplicitResult
+ExplicitChecker::run()
+{
+    return impl_->run();
+}
+
+} // namespace gpumc::expl

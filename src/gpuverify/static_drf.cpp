@@ -1,0 +1,113 @@
+#include "gpuverify/static_drf.hpp"
+
+#include <map>
+
+#include "program/event.hpp"
+#include "support/stats.hpp"
+
+namespace gpumc::gpuverify {
+
+using prog::Instruction;
+using prog::Opcode;
+
+namespace {
+
+/** A shared-memory access with its barrier interval. */
+struct Access {
+    int thread = -1;
+    int physLoc = -1;
+    std::string varName;
+    bool isWrite = false;
+    bool isAtomic = false;
+    int barrierInterval = 0;
+    int64_t barrierPathKey = 0; // product key of static barrier ids
+};
+
+/**
+ * Collect accesses per thread. The interval index counts the textual
+ * barrier instructions preceding the access — a deliberately
+ * control-flow-insensitive abstraction (GPUVerify relies on barrier
+ * uniformity, which this mimics).
+ */
+std::vector<Access>
+collectAccesses(const prog::Program &program)
+{
+    std::vector<Access> out;
+    for (int t = 0; t < program.numThreads(); ++t) {
+        int interval = 0;
+        int64_t pathKey = 1;
+        for (const Instruction &ins : program.threads[t].instrs) {
+            if (ins.op == Opcode::Barrier) {
+                interval++;
+                int64_t id =
+                    ins.barrierId.isReg() ? -1 : ins.barrierId.value;
+                pathKey = pathKey * 31 + id;
+                continue;
+            }
+            if (!ins.isMemoryAccess())
+                continue;
+            Access access;
+            access.thread = t;
+            access.physLoc = program.physLoc(ins.location);
+            access.varName = ins.location;
+            access.isAtomic = ins.atomic || ins.op == Opcode::Rmw;
+            access.isWrite = ins.op != Opcode::Load;
+            access.barrierInterval = interval;
+            access.barrierPathKey = pathKey;
+            out.push_back(access);
+            if (ins.op == Opcode::Rmw) {
+                Access write = access;
+                write.isWrite = true;
+                out.push_back(write);
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+StaticDrfResult
+analyzeStaticDrf(const prog::Program &program)
+{
+    Stopwatch timer;
+    StaticDrfResult result;
+
+    std::vector<Access> accesses = collectAccesses(program);
+    for (size_t i = 0; i < accesses.size(); ++i) {
+        for (size_t j = i + 1; j < accesses.size(); ++j) {
+            const Access &a = accesses[i];
+            const Access &b = accesses[j];
+            if (a.thread == b.thread || a.physLoc != b.physLoc)
+                continue;
+            if (!a.isWrite && !b.isWrite)
+                continue;
+            // Atomic-vs-atomic accesses never race in this abstraction
+            // (memory orders and scopes are not interpreted).
+            if (a.isAtomic && b.isAtomic)
+                continue;
+            // Barrier-interval separation within one workgroup: the
+            // accesses are ordered by an intervening barrier.
+            bool sameWg = prog::sameWg(program.threads[a.thread].placement,
+                                       program.threads[b.thread].placement)
+                       || prog::sameCta(program.threads[a.thread].placement,
+                                        program.threads[b.thread].placement);
+            if (sameWg && a.barrierInterval != b.barrierInterval)
+                continue;
+            RaceReport report;
+            report.location = a.varName;
+            report.thread1 = a.thread;
+            report.thread2 = b.thread;
+            report.detail =
+                (a.isAtomic || b.isAtomic)
+                    ? "atomic/non-atomic conflict"
+                    : "unsynchronized conflicting accesses";
+            result.races.push_back(std::move(report));
+            result.raceFound = true;
+        }
+    }
+    result.timeMs = timer.elapsedMs();
+    return result;
+}
+
+} // namespace gpumc::gpuverify

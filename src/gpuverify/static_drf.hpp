@@ -1,0 +1,45 @@
+/**
+ * @file
+ * A GPUVerify-style *static* data-race analyser — the baseline for the
+ * paper's Table 6 comparison (Section 7.3).
+ *
+ * Like GPUVerify it reasons with barrier intervals and treats atomic
+ * operations as race-free synchronization, but it is deliberately
+ *  - memory-model-unaware: it does not interpret memory orders, so
+ *    relaxed atomics look like strong ones;
+ *  - scope-unaware: workgroup-scope atomics across workgroups still
+ *    look synchronizing;
+ *  - control-flow-insensitive for custom synchronization: spinlocks do
+ *    not protect their critical sections, producing the false
+ *    positives the paper reports on caslock.
+ * These are exactly the disagreement categories of Section 7.3.
+ */
+
+#ifndef GPUMC_GPUVERIFY_STATIC_DRF_HPP
+#define GPUMC_GPUVERIFY_STATIC_DRF_HPP
+
+#include <string>
+#include <vector>
+
+#include "program/program.hpp"
+
+namespace gpumc::gpuverify {
+
+struct RaceReport {
+    std::string location;  // variable name
+    int thread1 = -1, thread2 = -1;
+    std::string detail;
+};
+
+struct StaticDrfResult {
+    bool raceFound = false;
+    std::vector<RaceReport> races;
+    double timeMs = 0.0;
+};
+
+/** Run the static barrier-interval DRF analysis on a kernel. */
+StaticDrfResult analyzeStaticDrf(const prog::Program &program);
+
+} // namespace gpumc::gpuverify
+
+#endif // GPUMC_GPUVERIFY_STATIC_DRF_HPP

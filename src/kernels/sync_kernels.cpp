@@ -1,0 +1,433 @@
+#include "kernels/sync_kernels.hpp"
+
+#include "support/diagnostics.hpp"
+
+namespace gpumc::kernels {
+
+using prog::Cond;
+using prog::CondPtr;
+using prog::CondTerm;
+using prog::Instruction;
+using prog::MemOrder;
+using prog::Opcode;
+using prog::Operand;
+using prog::Program;
+using prog::RmwKind;
+using prog::Scope;
+using prog::StorageClass;
+using prog::Thread;
+
+namespace {
+
+// --- small instruction factories (Vulkan dialect semantics) -------------
+
+Instruction
+plainLoad(const std::string &dst, const std::string &loc)
+{
+    Instruction ins;
+    ins.op = Opcode::Load;
+    ins.dst = dst;
+    ins.location = loc;
+    ins.storageClass = StorageClass::Sc0;
+    return ins;
+}
+
+Instruction
+plainStore(const std::string &loc, int64_t value)
+{
+    Instruction ins;
+    ins.op = Opcode::Store;
+    ins.location = loc;
+    ins.src = Operand::makeConst(value);
+    ins.storageClass = StorageClass::Sc0;
+    return ins;
+}
+
+Instruction
+atomicLoad(const std::string &dst, const std::string &loc, MemOrder order,
+           Scope scope)
+{
+    Instruction ins;
+    ins.op = Opcode::Load;
+    ins.dst = dst;
+    ins.location = loc;
+    ins.atomic = true;
+    ins.order = order;
+    ins.scope = scope;
+    ins.storageClass = StorageClass::Sc0;
+    return ins;
+}
+
+Instruction
+atomicStore(const std::string &loc, int64_t value, MemOrder order,
+            Scope scope)
+{
+    Instruction ins;
+    ins.op = Opcode::Store;
+    ins.location = loc;
+    ins.src = Operand::makeConst(value);
+    ins.atomic = true;
+    ins.order = order;
+    ins.scope = scope;
+    ins.storageClass = StorageClass::Sc0;
+    return ins;
+}
+
+Instruction
+rmw(RmwKind kind, const std::string &dst, const std::string &loc,
+    int64_t operand, MemOrder order, Scope scope, int64_t desired = 0)
+{
+    Instruction ins;
+    ins.op = Opcode::Rmw;
+    ins.rmwKind = kind;
+    ins.dst = dst;
+    ins.location = loc;
+    ins.src = Operand::makeConst(operand);
+    if (kind == RmwKind::Cas)
+        ins.src2 = Operand::makeConst(desired);
+    ins.atomic = true;
+    ins.order = order;
+    ins.scope = scope;
+    ins.storageClass = StorageClass::Sc0;
+    return ins;
+}
+
+Instruction
+label(const std::string &name)
+{
+    Instruction ins;
+    ins.op = Opcode::Label;
+    ins.label = name;
+    return ins;
+}
+
+Instruction
+branch(Opcode kind, const Operand &lhs, const Operand &rhs,
+       const std::string &target)
+{
+    Instruction ins;
+    ins.op = kind;
+    ins.branchLhs = lhs;
+    ins.branchRhs = rhs;
+    ins.label = target;
+    return ins;
+}
+
+Instruction
+gotoLabel(const std::string &target)
+{
+    Instruction ins;
+    ins.op = Opcode::Goto;
+    ins.label = target;
+    return ins;
+}
+
+/** Control barrier with acquire-release memory semantics (expanded). */
+void
+emitBarrier(std::vector<Instruction> &out, int64_t id, Scope scope)
+{
+    Instruction rel;
+    rel.op = Opcode::Fence;
+    rel.atomic = true;
+    rel.order = MemOrder::Rel;
+    rel.scope = scope;
+    rel.semSc0 = true;
+    out.push_back(rel);
+
+    Instruction bar;
+    bar.op = Opcode::Barrier;
+    bar.scope = scope;
+    bar.barrierId = Operand::makeConst(id);
+    out.push_back(bar);
+
+    Instruction acq = rel;
+    acq.order = MemOrder::Acq;
+    out.push_back(acq);
+}
+
+prog::ThreadPlacement
+placementFor(int thread, const KernelGrid &grid)
+{
+    prog::ThreadPlacement p;
+    p.sg = 0;
+    p.wg = thread / grid.threadsPerWorkgroup;
+    p.qf = 0;
+    return p;
+}
+
+/** Mutual-exclusion violation: some pair of threads both read 0. */
+CondPtr
+mutexViolation(int numThreads, const std::string &reg)
+{
+    CondPtr any;
+    for (int i = 0; i < numThreads; ++i) {
+        for (int j = i + 1; j < numThreads; ++j) {
+            CondPtr pair = Cond::mkAnd(
+                Cond::mkCmp(true, CondTerm::makeReg(i, reg),
+                            CondTerm::makeConst(0)),
+                Cond::mkCmp(true, CondTerm::makeReg(j, reg),
+                            CondTerm::makeConst(0)));
+            any = any ? Cond::mkOr(std::move(any), std::move(pair))
+                      : std::move(pair);
+        }
+    }
+    return any;
+}
+
+struct LockOrders {
+    MemOrder spinAcq = MemOrder::Acq; // the acquiring operation
+    MemOrder rel = MemOrder::Rel;     // the releasing operation
+    Scope scope = Scope::Dv;
+};
+
+LockOrders
+ordersFor(LockVariant variant)
+{
+    LockOrders o;
+    switch (variant) {
+      case LockVariant::Base:
+        break;
+      case LockVariant::Acq2Rlx:
+        o.spinAcq = MemOrder::Rlx;
+        break;
+      case LockVariant::Rel2Rlx:
+        o.rel = MemOrder::Rlx;
+        break;
+      case LockVariant::Dv2Wg:
+        o.scope = Scope::Wg;
+        break;
+    }
+    return o;
+}
+
+/** Declare every referenced shared variable with initial value 0. */
+void
+declareUsedVars(Program &program)
+{
+    for (const Thread &t : program.threads) {
+        for (const Instruction &ins : t.instrs) {
+            if (ins.isMemoryAccess() &&
+                program.varIndex(ins.location) < 0) {
+                prog::VarDecl decl;
+                decl.name = ins.location;
+                program.vars.push_back(std::move(decl));
+            }
+        }
+    }
+}
+
+Program
+finishLockProgram(Program program, const char *name, int numThreads)
+{
+    program.arch = prog::Arch::Vulkan;
+    program.name = name;
+    program.assertKind = prog::AssertKind::Exists;
+    program.assertion = mutexViolation(numThreads, "rcs");
+    declareUsedVars(program);
+    program.validate();
+    return program;
+}
+
+} // namespace
+
+const char *
+lockVariantName(LockVariant variant)
+{
+    switch (variant) {
+      case LockVariant::Base: return "";
+      case LockVariant::Acq2Rlx: return "-acq2rx";
+      case LockVariant::Rel2Rlx: return "-rel2rx";
+      case LockVariant::Dv2Wg: return "-dv2wg";
+    }
+    return "";
+}
+
+Program
+buildCaslock(const KernelGrid &grid, LockVariant variant)
+{
+    LockOrders o = ordersFor(variant);
+    Program program;
+    for (int t = 0; t < grid.totalThreads(); ++t) {
+        Thread thread;
+        thread.name = "P" + std::to_string(t);
+        thread.placement = placementFor(t, grid);
+        auto &code = thread.instrs;
+        code.push_back(label("SPIN"));
+        code.push_back(
+            rmw(RmwKind::Cas, "r0", "lock", 0, o.spinAcq, o.scope, 1));
+        code.push_back(branch(Opcode::BranchNe, Operand::makeReg("r0"),
+                              Operand::makeConst(0), "SPIN"));
+        code.push_back(plainLoad("rcs", "x"));
+        code.push_back(plainStore("x", t + 1));
+        code.push_back(atomicStore("lock", 0, o.rel, o.scope));
+        program.threads.push_back(std::move(thread));
+    }
+    return finishLockProgram(std::move(program), "caslock",
+                             grid.totalThreads());
+}
+
+Program
+buildTicketlock(const KernelGrid &grid, LockVariant variant)
+{
+    LockOrders o = ordersFor(variant);
+    Program program;
+    for (int t = 0; t < grid.totalThreads(); ++t) {
+        Thread thread;
+        thread.name = "P" + std::to_string(t);
+        thread.placement = placementFor(t, grid);
+        auto &code = thread.instrs;
+        // Take a ticket; the paper (Fig. 13 discussion) shows this
+        // acquire can always be relaxed.
+        code.push_back(
+            rmw(RmwKind::Add, "rt", "in", 1, MemOrder::Rlx, o.scope));
+        code.push_back(label("SPIN"));
+        code.push_back(atomicLoad("rs", "out", o.spinAcq, o.scope));
+        code.push_back(branch(Opcode::BranchEq, Operand::makeReg("rt"),
+                              Operand::makeReg("rs"), "CS"));
+        code.push_back(gotoLabel("SPIN"));
+        code.push_back(label("CS"));
+        code.push_back(plainLoad("rcs", "x"));
+        code.push_back(plainStore("x", t + 1));
+        code.push_back(rmw(RmwKind::Add, "ru", "out", 1, o.rel, o.scope));
+        program.threads.push_back(std::move(thread));
+    }
+    return finishLockProgram(std::move(program), "ticketlock",
+                             grid.totalThreads());
+}
+
+Program
+buildTtaslock(const KernelGrid &grid, LockVariant variant)
+{
+    LockOrders o = ordersFor(variant);
+    Program program;
+    for (int t = 0; t < grid.totalThreads(); ++t) {
+        Thread thread;
+        thread.name = "P" + std::to_string(t);
+        thread.placement = placementFor(t, grid);
+        auto &code = thread.instrs;
+        code.push_back(label("RETRY"));
+        code.push_back(atomicLoad("r0", "lock", MemOrder::Rlx, o.scope));
+        code.push_back(branch(Opcode::BranchNe, Operand::makeReg("r0"),
+                              Operand::makeConst(0), "RETRY"));
+        code.push_back(
+            rmw(RmwKind::Exchange, "r1", "lock", 1, o.spinAcq, o.scope));
+        code.push_back(branch(Opcode::BranchNe, Operand::makeReg("r1"),
+                              Operand::makeConst(0), "RETRY"));
+        code.push_back(plainLoad("rcs", "x"));
+        code.push_back(plainStore("x", t + 1));
+        code.push_back(atomicStore("lock", 0, o.rel, o.scope));
+        program.threads.push_back(std::move(thread));
+    }
+    return finishLockProgram(std::move(program), "ttaslock",
+                             grid.totalThreads());
+}
+
+const char *
+xfVariantName(XfVariant variant)
+{
+    switch (variant) {
+      case XfVariant::Base: return "";
+      case XfVariant::AcqToRlx1: return "-acq2rx-1";
+      case XfVariant::AcqToRlx2: return "-acq2rx-2";
+      case XfVariant::RelToRlx1: return "-rel2rx-1";
+      case XfVariant::RelToRlx2: return "-rel2rx-2";
+    }
+    return "";
+}
+
+Program
+buildXfBarrier(const KernelGrid &grid, XfVariant variant)
+{
+    int numWg = grid.workgroups;
+    int perWg = grid.threadsPerWorkgroup;
+    GPUMC_ASSERT(numWg >= 2, "XF-barrier requires at least 2 workgroups");
+    GPUMC_ASSERT(perWg >= numWg - 1,
+                 "XF-barrier needs one leader per follower workgroup");
+    int total = grid.totalThreads();
+
+    MemOrder leaderSpin =
+        variant == XfVariant::AcqToRlx1 ? MemOrder::Rlx : MemOrder::Acq;
+    MemOrder repSpin =
+        variant == XfVariant::AcqToRlx2 ? MemOrder::Rlx : MemOrder::Acq;
+    MemOrder repArrive =
+        variant == XfVariant::RelToRlx1 ? MemOrder::Rlx : MemOrder::Rel;
+    MemOrder leaderGo =
+        variant == XfVariant::RelToRlx2 ? MemOrder::Rlx : MemOrder::Rel;
+
+    auto slot = [](int t) { return "d" + std::to_string(t); };
+    auto fin = [](int wg) { return "fin" + std::to_string(wg); };
+    auto go = [](int wg) { return "go" + std::to_string(wg); };
+
+    Program program;
+    for (int t = 0; t < total; ++t) {
+        Thread thread;
+        thread.name = "P" + std::to_string(t);
+        thread.placement = placementFor(t, {perWg, numWg});
+        auto &code = thread.instrs;
+        int wg = t / perWg;
+        int lane = t % perWg;
+
+        // Every thread publishes its data slot before the barrier.
+        code.push_back(plainStore(slot(t), 1));
+
+        if (wg == 0) {
+            // Leader: wait for the followers of workgroup lane+1 (if
+            // assigned), synchronize with the other leaders, release
+            // the followers.
+            bool assigned = lane + 1 < numWg;
+            if (assigned) {
+                code.push_back(label("WAITFIN"));
+                code.push_back(
+                    atomicLoad("rf", fin(lane + 1), leaderSpin,
+                               Scope::Dv));
+                code.push_back(branch(Opcode::BranchEq,
+                                      Operand::makeReg("rf"),
+                                      Operand::makeConst(0), "WAITFIN"));
+            }
+            emitBarrier(code, 999, Scope::Wg);
+            if (assigned) {
+                code.push_back(
+                    atomicStore(go(lane + 1), 1, leaderGo, Scope::Dv));
+            }
+        } else {
+            // Follower: local barrier; the representative (lane 0)
+            // handshakes with its leader; then the local barrier again.
+            emitBarrier(code, wg, Scope::Wg);
+            if (lane == 0) {
+                code.push_back(
+                    atomicStore(fin(wg), 1, repArrive, Scope::Dv));
+                code.push_back(label("WAITGO"));
+                code.push_back(
+                    atomicLoad("rg", go(wg), repSpin, Scope::Dv));
+                code.push_back(branch(Opcode::BranchEq,
+                                      Operand::makeReg("rg"),
+                                      Operand::makeConst(0), "WAITGO"));
+            }
+            emitBarrier(code, wg + 100, Scope::Wg);
+        }
+
+        // Read the slot of the same lane in the next workgroup.
+        int partner = (t + perWg) % total;
+        code.push_back(plainLoad("rout", slot(partner)));
+        program.threads.push_back(std::move(thread));
+    }
+
+    program.arch = prog::Arch::Vulkan;
+    program.name = std::string("xf-barrier") + xfVariantName(variant);
+
+    // Some thread observes a stale (zero) slot: barrier broken.
+    CondPtr any;
+    for (int t = 0; t < total; ++t) {
+        CondPtr stale = Cond::mkCmp(true, CondTerm::makeReg(t, "rout"),
+                                    CondTerm::makeConst(0));
+        any = any ? Cond::mkOr(std::move(any), std::move(stale))
+                  : std::move(stale);
+    }
+    program.assertKind = prog::AssertKind::Exists;
+    program.assertion = std::move(any);
+    declareUsedVars(program);
+    program.validate();
+    return program;
+}
+
+} // namespace gpumc::kernels

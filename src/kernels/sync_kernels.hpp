@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Builders for the synchronization primitives verified in the paper's
+ * Table 7: caslock, ticketlock, ttaslock and the XF inter-workgroup
+ * barrier (Fig. 1), in the Vulkan dialect, parameterized by thread
+ * grid and by the weakening variants the paper evaluates
+ * (acquire->relaxed, release->relaxed, device->workgroup scope).
+ */
+
+#ifndef GPUMC_KERNELS_SYNC_KERNELS_HPP
+#define GPUMC_KERNELS_SYNC_KERNELS_HPP
+
+#include <string>
+
+#include "program/program.hpp"
+
+namespace gpumc::kernels {
+
+struct KernelGrid {
+    int threadsPerWorkgroup = 2;
+    int workgroups = 2;
+
+    int totalThreads() const { return threadsPerWorkgroup * workgroups; }
+    std::string str() const
+    {
+        return std::to_string(threadsPerWorkgroup) + "." +
+               std::to_string(workgroups);
+    }
+};
+
+/** Weakening variants of Table 7. */
+enum class LockVariant {
+    Base,     // correct release/acquire, device scope
+    Acq2Rlx,  // the acquire weakened to relaxed
+    Rel2Rlx,  // the release weakened to relaxed
+    Dv2Wg,    // device scope reduced to workgroup
+};
+
+const char *lockVariantName(LockVariant variant);
+
+/**
+ * Spin lock acquired with a CAS loop. The litmus condition asserts a
+ * mutual-exclusion violation (all threads observing the initial value
+ * of the protected variable), so `safety holds == buggy`.
+ */
+prog::Program buildCaslock(const KernelGrid &grid, LockVariant variant);
+
+/** Ticket lock (paper Fig. 13 in the Vulkan dialect). */
+prog::Program buildTicketlock(const KernelGrid &grid, LockVariant variant);
+
+/** Test-and-test-and-set lock. */
+prog::Program buildTtaslock(const KernelGrid &grid, LockVariant variant);
+
+/** XF-barrier weakening targets (paper Table 7: acq2rx-1/2, rel2rx-1/2). */
+enum class XfVariant {
+    Base,
+    AcqToRlx1, // leader's spin on the follower flag
+    AcqToRlx2, // representative's spin on the leader flag
+    RelToRlx1, // representative's arrival store
+    RelToRlx2, // leader's release store
+};
+
+const char *xfVariantName(XfVariant variant);
+
+/**
+ * The XF inter-workgroup barrier (paper Fig. 1). Workgroup 0 holds the
+ * leaders; each leader serves one follower workgroup. Every thread
+ * writes its data slot before the barrier and reads the slot of its
+ * lane in the next workgroup after it. The litmus condition asserts
+ * some stale slot read, so `safety holds == buggy`.
+ * Requires threadsPerWorkgroup >= workgroups - 1 and workgroups >= 2.
+ */
+prog::Program buildXfBarrier(const KernelGrid &grid, XfVariant variant);
+
+} // namespace gpumc::kernels
+
+#endif // GPUMC_KERNELS_SYNC_KERNELS_HPP

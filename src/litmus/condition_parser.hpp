@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Parser for litmus final-state conditions:
+ *   (P0:r1 == 1 /\ x != 2) \/ ~(P1:r0 == P1:r1)
+ */
+
+#ifndef GPUMC_LITMUS_CONDITION_PARSER_HPP
+#define GPUMC_LITMUS_CONDITION_PARSER_HPP
+
+#include <string_view>
+
+#include "program/assertion.hpp"
+
+namespace gpumc::litmus {
+
+/**
+ * Parse a condition expression. `/\` binds tighter than `\/`; `~`
+ * negates an atom or a parenthesized expression.
+ * @throws FatalError on syntax errors.
+ */
+prog::CondPtr parseCondition(std::string_view text);
+
+} // namespace gpumc::litmus
+
+#endif // GPUMC_LITMUS_CONDITION_PARSER_HPP

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Helpers shared by the PTX and Vulkan litmus instruction dialects.
+ */
+
+#ifndef GPUMC_LITMUS_DIALECT_COMMON_HPP
+#define GPUMC_LITMUS_DIALECT_COMMON_HPP
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "program/instruction.hpp"
+
+namespace gpumc::litmus {
+
+/** A mnemonic split on '.', e.g. "ld.acquire.sys" -> {ld,acquire,sys}. */
+struct ParsedMnemonic {
+    std::vector<std::string> parts;
+    SourceLoc loc;
+
+    const std::string &head() const { return parts[0]; }
+    bool hasMod(const std::string &mod) const;
+};
+
+/** Split "a, b, c" into trimmed operand strings. */
+std::vector<std::string> splitOperands(std::string_view text);
+
+/** Number -> constant operand; otherwise a register reference. */
+prog::Operand parseOperand(const std::string &text, SourceLoc loc);
+
+/** Map an order modifier name to a memory order, if it is one. */
+std::optional<prog::MemOrder> orderFromName(const std::string &name);
+
+/** Map a scope modifier name to a scope, if it is one. */
+std::optional<prog::Scope> scopeFromName(const std::string &name);
+
+/**
+ * Split an instruction cell into mnemonic + operand text; returns the
+ * operand part. E.g. "atom.acq.gpu.add r1, in, 1".
+ */
+ParsedMnemonic splitMnemonic(std::string_view cell, SourceLoc loc,
+                             std::string &operandsOut);
+
+} // namespace gpumc::litmus
+
+#endif // GPUMC_LITMUS_DIALECT_COMMON_HPP

@@ -1,0 +1,702 @@
+#include "litmus/generator.hpp"
+
+#include "litmus/litmus_parser.hpp"
+#include "support/diagnostics.hpp"
+
+namespace gpumc::litmus {
+
+using prog::Arch;
+using prog::Cond;
+using prog::CondPtr;
+using prog::CondTerm;
+using prog::Instruction;
+using prog::MemOrder;
+using prog::Opcode;
+using prog::Operand;
+using prog::Program;
+using prog::Scope;
+using prog::StorageClass;
+using prog::Thread;
+
+namespace {
+
+/** Synchronization strength applied to the communicating accesses. */
+enum class Sync { Plain, Rlx, RelAcq, RelOnly, AcqOnly, Fence, FenceSc };
+
+const char *
+syncName(Sync sync)
+{
+    switch (sync) {
+      case Sync::Plain: return "plain";
+      case Sync::Rlx: return "rlx";
+      case Sync::RelAcq: return "relacq";
+      case Sync::RelOnly: return "relonly";
+      case Sync::AcqOnly: return "acqonly";
+      case Sync::Fence: return "fence";
+      case Sync::FenceSc: return "fencesc";
+    }
+    return "?";
+}
+
+struct GenConfig {
+    Arch arch = Arch::Ptx;
+    Sync sync = Sync::Plain;
+    Scope scope = Scope::Sys;
+    bool split = true; // threads in different inner scope units
+    StorageClass storage = StorageClass::Sc0;
+};
+
+class Builder {
+  public:
+    explicit Builder(const GenConfig &config) : cfg_(config)
+    {
+        program_.arch = cfg_.arch;
+    }
+
+    int newThread()
+    {
+        Thread thread;
+        int idx = static_cast<int>(program_.threads.size());
+        thread.name = "P" + std::to_string(idx);
+        if (cfg_.arch == Arch::Ptx) {
+            thread.placement.cta = cfg_.split ? idx : 0;
+        } else {
+            thread.placement.wg = cfg_.split ? idx : 0;
+        }
+        program_.threads.push_back(std::move(thread));
+        return idx;
+    }
+
+    Instruction &emit(int thread, Instruction ins)
+    {
+        program_.threads[thread].instrs.push_back(std::move(ins));
+        return program_.threads[thread].instrs.back();
+    }
+
+    bool atomicFor(MemOrder order) const
+    {
+        if (cfg_.arch == Arch::Vulkan)
+            return order != MemOrder::Plain || cfg_.sync != Sync::Plain;
+        return order != MemOrder::Plain;
+    }
+
+    void write(int thread, const std::string &var, int64_t value,
+               MemOrder order)
+    {
+        Instruction ins;
+        ins.op = Opcode::Store;
+        ins.location = var;
+        ins.src = Operand::makeConst(value);
+        ins.order = order;
+        ins.atomic = atomicFor(order);
+        ins.scope = cfg_.scope;
+        ins.storageClass = cfg_.storage;
+        emit(thread, std::move(ins));
+    }
+
+    void read(int thread, const std::string &reg, const std::string &var,
+              MemOrder order)
+    {
+        Instruction ins;
+        ins.op = Opcode::Load;
+        ins.dst = reg;
+        ins.location = var;
+        ins.order = order;
+        ins.atomic = atomicFor(order);
+        ins.scope = cfg_.scope;
+        ins.storageClass = cfg_.storage;
+        emit(thread, std::move(ins));
+    }
+
+    void fence(int thread, MemOrder order)
+    {
+        Instruction ins;
+        ins.op = Opcode::Fence;
+        ins.atomic = true;
+        ins.order = order;
+        ins.scope = cfg_.scope;
+        if (cfg_.arch == Arch::Vulkan) {
+            ins.semSc0 = cfg_.storage == StorageClass::Sc0;
+            ins.semSc1 = cfg_.storage == StorageClass::Sc1;
+        }
+        emit(thread, std::move(ins));
+    }
+
+    // Orders of the publishing write / observing read under cfg_.sync.
+    MemOrder writeOrder() const
+    {
+        switch (cfg_.sync) {
+          case Sync::Plain: return MemOrder::Plain;
+          case Sync::Rlx:
+          case Sync::AcqOnly:
+          case Sync::Fence:
+          case Sync::FenceSc: return MemOrder::Rlx;
+          case Sync::RelAcq:
+          case Sync::RelOnly: return MemOrder::Rel;
+        }
+        return MemOrder::Plain;
+    }
+    MemOrder readOrder() const
+    {
+        switch (cfg_.sync) {
+          case Sync::Plain: return MemOrder::Plain;
+          case Sync::Rlx:
+          case Sync::RelOnly:
+          case Sync::Fence:
+          case Sync::FenceSc: return MemOrder::Rlx;
+          case Sync::RelAcq:
+          case Sync::AcqOnly: return MemOrder::Acq;
+        }
+        return MemOrder::Plain;
+    }
+    /** Fence placed between the two accesses for fence-based syncs. */
+    void maybeFence(int thread)
+    {
+        if (cfg_.sync == Sync::Fence)
+            fence(thread, MemOrder::AcqRel);
+        else if (cfg_.sync == Sync::FenceSc)
+            fence(thread, MemOrder::Sc);
+    }
+
+    Program finish(const std::string &name, prog::AssertKind kind,
+                   CondPtr cond)
+    {
+        program_.name = name;
+        program_.assertKind = kind;
+        program_.assertion = std::move(cond);
+        for (const Thread &t : program_.threads) {
+            for (const Instruction &ins : t.instrs) {
+                if (ins.isMemoryAccess() &&
+                    program_.varIndex(ins.location) < 0) {
+                    prog::VarDecl decl;
+                    decl.name = ins.location;
+                    decl.storageClass = cfg_.storage;
+                    program_.vars.push_back(std::move(decl));
+                }
+            }
+        }
+        program_.validate();
+        return std::move(program_);
+    }
+
+    const GenConfig &cfg() const { return cfg_; }
+
+  private:
+    GenConfig cfg_;
+    Program program_;
+};
+
+CondPtr
+regEq(int thread, const std::string &reg, int64_t value)
+{
+    return Cond::mkCmp(true, CondTerm::makeReg(thread, reg),
+                       CondTerm::makeConst(value));
+}
+
+CondPtr
+conj(CondPtr a, CondPtr b)
+{
+    return Cond::mkAnd(std::move(a), std::move(b));
+}
+
+// --- two/three-thread patterns -------------------------------------------
+
+Program
+mp(const GenConfig &cfg, const std::string &name)
+{
+    Builder b(cfg);
+    int t0 = b.newThread(), t1 = b.newThread();
+    b.write(t0, "x", 1, MemOrder::Plain);
+    b.maybeFence(t0);
+    b.write(t0, "f", 1, b.writeOrder());
+    b.read(t1, "r0", "f", b.readOrder());
+    b.maybeFence(t1);
+    b.read(t1, "r1", "x", MemOrder::Plain);
+    return b.finish(name, prog::AssertKind::Exists,
+                    conj(regEq(1, "r0", 1), regEq(1, "r1", 0)));
+}
+
+Program
+sb(const GenConfig &cfg, const std::string &name)
+{
+    Builder b(cfg);
+    int t0 = b.newThread(), t1 = b.newThread();
+    b.write(t0, "x", 1, b.writeOrder());
+    b.maybeFence(t0);
+    b.read(t0, "r0", "y", b.readOrder());
+    b.write(t1, "y", 1, b.writeOrder());
+    b.maybeFence(t1);
+    b.read(t1, "r1", "x", b.readOrder());
+    return b.finish(name, prog::AssertKind::Exists,
+                    conj(regEq(0, "r0", 0), regEq(1, "r1", 0)));
+}
+
+Program
+lb(const GenConfig &cfg, const std::string &name)
+{
+    Builder b(cfg);
+    int t0 = b.newThread(), t1 = b.newThread();
+    b.read(t0, "r0", "x", b.readOrder());
+    b.maybeFence(t0);
+    b.write(t0, "y", 1, b.writeOrder());
+    b.read(t1, "r1", "y", b.readOrder());
+    b.maybeFence(t1);
+    b.write(t1, "x", 1, b.writeOrder());
+    return b.finish(name, prog::AssertKind::Exists,
+                    conj(regEq(0, "r0", 1), regEq(1, "r1", 1)));
+}
+
+Program
+corr(const GenConfig &cfg, const std::string &name)
+{
+    Builder b(cfg);
+    int t0 = b.newThread(), t1 = b.newThread();
+    b.write(t0, "x", 1, b.writeOrder());
+    b.read(t1, "r0", "x", b.readOrder());
+    b.read(t1, "r1", "x", b.readOrder());
+    return b.finish(name, prog::AssertKind::Exists,
+                    conj(regEq(1, "r0", 1), regEq(1, "r1", 0)));
+}
+
+Program
+coww(const GenConfig &cfg, const std::string &name)
+{
+    Builder b(cfg);
+    int t0 = b.newThread(), t1 = b.newThread();
+    b.write(t0, "x", 1, b.writeOrder());
+    b.write(t0, "x", 2, b.writeOrder());
+    b.read(t1, "r0", "x", b.readOrder());
+    b.read(t1, "r1", "x", b.readOrder());
+    return b.finish(name, prog::AssertKind::Exists,
+                    conj(regEq(1, "r0", 2), regEq(1, "r1", 1)));
+}
+
+Program
+wrc(const GenConfig &cfg, const std::string &name)
+{
+    Builder b(cfg);
+    int t0 = b.newThread(), t1 = b.newThread(), t2 = b.newThread();
+    b.write(t0, "x", 1, b.writeOrder());
+    b.read(t1, "r0", "x", b.readOrder());
+    b.maybeFence(t1);
+    b.write(t1, "y", 1, b.writeOrder());
+    b.read(t2, "r1", "y", b.readOrder());
+    b.maybeFence(t2);
+    b.read(t2, "r2", "x", MemOrder::Plain);
+    return b.finish(name, prog::AssertKind::Exists,
+                    conj(regEq(1, "r0", 1),
+                         conj(regEq(2, "r1", 1), regEq(2, "r2", 0))));
+}
+
+Program
+w2plus2(const GenConfig &cfg, const std::string &name)
+{
+    Builder b(cfg);
+    int t0 = b.newThread(), t1 = b.newThread();
+    b.write(t0, "x", 1, b.writeOrder());
+    b.maybeFence(t0);
+    b.write(t0, "y", 2, b.writeOrder());
+    b.write(t1, "y", 1, b.writeOrder());
+    b.maybeFence(t1);
+    b.write(t1, "x", 2, b.writeOrder());
+    // Observer threads avoid memory-valued conditions.
+    int t2 = b.newThread();
+    b.read(t2, "r0", "x", b.readOrder());
+    b.read(t2, "r1", "y", b.readOrder());
+    return b.finish(name, prog::AssertKind::Exists,
+                    conj(regEq(2, "r0", 1), regEq(2, "r1", 1)));
+}
+
+Program
+iriw(const GenConfig &cfg, const std::string &name)
+{
+    Builder b(cfg);
+    int t0 = b.newThread(), t1 = b.newThread();
+    int t2 = b.newThread(), t3 = b.newThread();
+    b.write(t0, "x", 1, b.writeOrder());
+    b.write(t1, "y", 1, b.writeOrder());
+    b.read(t2, "r0", "x", b.readOrder());
+    b.maybeFence(t2);
+    b.read(t2, "r1", "y", b.readOrder());
+    b.read(t3, "r2", "y", b.readOrder());
+    b.maybeFence(t3);
+    b.read(t3, "r3", "x", b.readOrder());
+    return b.finish(
+        name, prog::AssertKind::Exists,
+        conj(conj(regEq(2, "r0", 1), regEq(2, "r1", 0)),
+             conj(regEq(3, "r2", 1), regEq(3, "r3", 0))));
+}
+
+Program
+sPattern(const GenConfig &cfg, const std::string &name)
+{
+    Builder b(cfg);
+    int t0 = b.newThread(), t1 = b.newThread(), t2 = b.newThread();
+    b.write(t0, "x", 2, MemOrder::Plain);
+    b.maybeFence(t0);
+    b.write(t0, "y", 1, b.writeOrder());
+    b.read(t1, "r0", "y", b.readOrder());
+    b.maybeFence(t1);
+    b.write(t1, "x", 1, MemOrder::Plain);
+    b.read(t2, "r1", "x", b.readOrder());
+    b.read(t2, "r2", "x", b.readOrder());
+    return b.finish(name, prog::AssertKind::Exists,
+                    conj(regEq(1, "r0", 1),
+                         conj(regEq(2, "r1", 1), regEq(2, "r2", 2))));
+}
+
+// --- PTX proxy variants ----------------------------------------------------
+
+Program
+proxyMp(Arch arch, bool surfaceFence, bool aliasFence, bool textureFence,
+        const std::string &name)
+{
+    GPUMC_ASSERT(arch == Arch::Ptx);
+    const char *prelude = "{ x = 0; s -> x; y -> x; t -> y; flag = 0; }";
+    std::string src = "PTX \"" + name + "\"\n" + prelude + "\n";
+    src += "P0@cta 0,gpu 0 | P1@cta 0,gpu 0 ;\n";
+    src += "sust.weak s, 1 | ld.acquire.gpu r0, flag ;\n";
+    if (surfaceFence)
+        src += "fence.proxy.surface | ;\n";
+    if (aliasFence)
+        src += " | fence.proxy.alias ;\n";
+    if (textureFence)
+        src += " | fence.proxy.texture ;\n";
+    src += "st.release.gpu flag, 1 | tld.weak r1, t ;\n";
+    src += "exists (P1:r0 == 1 /\\ P1:r1 == 0)\n";
+    return parseLitmus(src);
+}
+
+Program
+constantProxyTest(const std::string &name)
+{
+    // Constant memory updated by a generic store: a constant-proxy
+    // fence is needed before the constant load observes it.
+    std::string src = "PTX \"" + name + "\"\n";
+    src += "{ c = 0; k -> c; }\n";
+    src += "P0@cta 0,gpu 0 | P1@cta 0,gpu 0 ;\n";
+    src += "st.weak c, 1   | ld.acquire.gpu r0, flag ;\n";
+    src += "fence.proxy.constant | fence.proxy.constant ;\n";
+    src += "st.release.gpu flag, 1 | cld.weak r1, k ;\n";
+    src += "exists (P1:r0 == 1 /\\ P1:r1 == 0)\n";
+    return parseLitmus(src);
+}
+
+// --- progress (spinloop) tests ---------------------------------------------
+
+Program
+spinTest(const GenConfig &cfg, const std::string &name, bool flagSet,
+         int waiters)
+{
+    Builder b(cfg);
+    int setter = b.newThread();
+    if (flagSet) {
+        b.write(setter, "flag", 1, b.writeOrder());
+    } else {
+        b.write(setter, "other", 1, b.writeOrder());
+    }
+    for (int w = 0; w < waiters; ++w) {
+        int t = b.newThread();
+        Instruction lbl;
+        lbl.op = Opcode::Label;
+        lbl.label = "SPIN";
+        b.emit(t, std::move(lbl));
+        b.read(t, "r0", "flag", b.readOrder());
+        Instruction br;
+        br.op = Opcode::BranchEq;
+        br.branchLhs = Operand::makeReg("r0");
+        br.branchRhs = Operand::makeConst(0);
+        br.label = "SPIN";
+        b.emit(t, std::move(br));
+    }
+    return b.finish(name, prog::AssertKind::Exists,
+                    regEq(1, "r0", flagSet ? 1 : 0));
+}
+
+Program
+handshakeChain(const GenConfig &cfg, const std::string &name, int length,
+               bool complete)
+{
+    // Thread i waits for flag i, then sets flag i+1. Thread 0 starts
+    // the chain (or not, if !complete -> deadlock).
+    Builder b(cfg);
+    for (int i = 0; i < length; ++i) {
+        int t = b.newThread();
+        if (i == 0) {
+            if (complete)
+                b.write(t, "f1", 1, b.writeOrder());
+            continue;
+        }
+        Instruction lbl;
+        lbl.op = Opcode::Label;
+        lbl.label = "SPIN";
+        b.emit(t, std::move(lbl));
+        b.read(t, "r0", "f" + std::to_string(i), b.readOrder());
+        Instruction br;
+        br.op = Opcode::BranchEq;
+        br.branchLhs = Operand::makeReg("r0");
+        br.branchRhs = Operand::makeConst(0);
+        br.label = "SPIN";
+        b.emit(t, std::move(br));
+        if (i + 1 < length)
+            b.write(t, "f" + std::to_string(i + 1), 1, b.writeOrder());
+    }
+    return b.finish(name, prog::AssertKind::Exists, regEq(1, "r0", 1));
+}
+
+using PatternFn = Program (*)(const GenConfig &, const std::string &);
+
+const std::pair<const char *, PatternFn> kPatterns[] = {
+    {"mp", mp},     {"sb", sb},         {"lb", lb},
+    {"corr", corr}, {"coww", coww},     {"wrc", wrc},
+    {"2+2w", w2plus2}, {"iriw", iriw},  {"s", sPattern},
+};
+
+} // namespace
+
+std::vector<GeneratedTest>
+generatePatternSuite(Arch arch, bool withProxies)
+{
+    std::vector<GeneratedTest> out;
+    std::vector<Sync> syncs = {Sync::Plain, Sync::Rlx, Sync::RelAcq,
+                               Sync::RelOnly, Sync::AcqOnly, Sync::Fence};
+    if (arch == Arch::Ptx)
+        syncs.push_back(Sync::FenceSc);
+    std::vector<Scope> scopes =
+        arch == Arch::Ptx ? std::vector<Scope>{Scope::Cta, Scope::Gpu,
+                                               Scope::Sys}
+                          : std::vector<Scope>{Scope::Wg, Scope::Qf,
+                                               Scope::Dv};
+
+    for (const auto &[patternName, fn] : kPatterns) {
+        for (Sync sync : syncs) {
+            for (bool split : {false, true}) {
+                // Sweep scopes only for the headline patterns to keep
+                // the suite size comparable to the paper's.
+                bool sweepScopes = std::string(patternName) == "mp" ||
+                                   std::string(patternName) == "sb";
+                std::vector<Scope> localScopes =
+                    sweepScopes ? scopes
+                                : std::vector<Scope>{scopes.back()};
+                for (Scope scope : localScopes) {
+                    GenConfig cfg;
+                    cfg.arch = arch;
+                    cfg.sync = sync;
+                    cfg.scope = scope;
+                    cfg.split = split;
+                    std::string name =
+                        std::string(patternName) + "+" + syncName(sync) +
+                        "+" + prog::scopeName(scope) +
+                        (split ? "+split" : "+same");
+                    GeneratedTest test;
+                    test.name = name;
+                    test.program = fn(cfg, name);
+                    out.push_back(std::move(test));
+                }
+            }
+        }
+    }
+
+    if (arch == Arch::Vulkan) {
+        // Storage-class variants of MP: payload in sc1, fences with
+        // matching / mismatching semantics.
+        for (StorageClass storage :
+             {StorageClass::Sc0, StorageClass::Sc1}) {
+            for (Sync sync : {Sync::RelAcq, Sync::Fence}) {
+                GenConfig cfg;
+                cfg.arch = arch;
+                cfg.sync = sync;
+                cfg.scope = Scope::Dv;
+                cfg.storage = storage;
+                std::string name =
+                    std::string("mp+") + syncName(sync) +
+                    (storage == StorageClass::Sc1 ? "+sc1" : "+sc0");
+                GeneratedTest test;
+                test.name = name;
+                test.program = mp(cfg, name);
+                out.push_back(std::move(test));
+            }
+        }
+    }
+
+    if (withProxies && arch == Arch::Ptx) {
+        struct ProxyVariant {
+            const char *name;
+            bool surface, alias, texture;
+        } variants[] = {
+            {"proxy-mp-all-fences", true, true, true},
+            {"proxy-mp-no-surface", false, true, true},
+            {"proxy-mp-no-alias", true, false, true},
+            {"proxy-mp-no-texture", true, true, false},
+            {"proxy-mp-none", false, false, false},
+        };
+        for (const ProxyVariant &v : variants) {
+            GeneratedTest test;
+            test.name = v.name;
+            test.program =
+                proxyMp(arch, v.surface, v.alias, v.texture, v.name);
+            test.usesProxies = true;
+            out.push_back(std::move(test));
+        }
+        GeneratedTest constant;
+        constant.name = "proxy-constant-fence";
+        constant.program = constantProxyTest(constant.name);
+        constant.usesProxies = true;
+        out.push_back(std::move(constant));
+    }
+    return out;
+}
+
+std::vector<GeneratedTest>
+generateProgressSuite(Arch arch)
+{
+    std::vector<GeneratedTest> out;
+    std::vector<Sync> syncs = {Sync::RelAcq, Sync::Rlx};
+    std::vector<Scope> scopes =
+        arch == Arch::Ptx
+            ? std::vector<Scope>{Scope::Cta, Scope::Gpu, Scope::Sys}
+            : std::vector<Scope>{Scope::Wg, Scope::Qf, Scope::Dv};
+    for (Sync sync : syncs) {
+        for (Scope scope : scopes) {
+            for (bool split : {false, true}) {
+                for (bool flagSet : {true, false}) {
+                    for (int waiters : {1, 2}) {
+                        GenConfig cfg;
+                        cfg.arch = arch;
+                        cfg.sync = sync;
+                        cfg.scope = scope;
+                        cfg.split = split;
+                        std::string name =
+                            std::string("spin+") + syncName(sync) + "+" +
+                            prog::scopeName(scope) +
+                            (split ? "+split" : "+same") +
+                            (flagSet ? "+set" : "+unset") + "+w" +
+                            std::to_string(waiters);
+                        GeneratedTest test;
+                        test.name = name;
+                        test.program =
+                            spinTest(cfg, name, flagSet, waiters);
+                        test.isProgress = true;
+                        out.push_back(std::move(test));
+                    }
+                }
+            }
+        }
+    }
+    // Handshake chains (complete and deadlocking).
+    for (int length : {2, 3}) {
+        for (bool complete : {true, false}) {
+            GenConfig cfg;
+            cfg.arch = arch;
+            cfg.sync = Sync::RelAcq;
+            cfg.scope = scopes.back();
+            std::string name = "handshake+" + std::to_string(length) +
+                               (complete ? "+complete" : "+deadlock");
+            GeneratedTest test;
+            test.name = name;
+            test.program = handshakeChain(cfg, name, length, complete);
+            test.isProgress = true;
+            out.push_back(std::move(test));
+        }
+    }
+    return out;
+}
+
+const char *
+scaledPatternName(ScaledPattern pattern)
+{
+    switch (pattern) {
+      case ScaledPattern::MP: return "MP";
+      case ScaledPattern::SB: return "SB";
+      case ScaledPattern::LB: return "LB";
+      case ScaledPattern::IRIW: return "IRIW";
+    }
+    return "?";
+}
+
+Program
+generateScaled(ScaledPattern pattern, Arch arch, int threads)
+{
+    GPUMC_ASSERT(threads >= 2, "need at least two threads");
+    GenConfig cfg;
+    cfg.arch = arch;
+    cfg.sync = Sync::Plain;
+    cfg.scope = arch == Arch::Ptx ? Scope::Sys : Scope::Dv;
+    cfg.split = true;
+    Builder b(cfg);
+    CondPtr cond;
+    auto addConj = [&](CondPtr c) {
+        cond = cond ? conj(std::move(cond), std::move(c)) : std::move(c);
+    };
+
+    switch (pattern) {
+      case ScaledPattern::MP: {
+        // A chain of message passers: t0 writes data and flag 1;
+        // ti forwards flag i -> flag i+1; the last thread checks data.
+        for (int i = 0; i < threads; ++i) {
+            int t = b.newThread();
+            if (i == 0) {
+                b.write(t, "x", 1, MemOrder::Plain);
+                b.write(t, "f1", 1, MemOrder::Plain);
+            } else if (i < threads - 1) {
+                b.read(t, "r0", "f" + std::to_string(i),
+                       MemOrder::Plain);
+                b.write(t, "f" + std::to_string(i + 1), 1,
+                        MemOrder::Plain);
+                addConj(regEq(i, "r0", 1));
+            } else {
+                b.read(t, "r0", "f" + std::to_string(i),
+                       MemOrder::Plain);
+                b.read(t, "r1", "x", MemOrder::Plain);
+                addConj(regEq(i, "r0", 1));
+                addConj(regEq(i, "r1", 0));
+            }
+        }
+        break;
+      }
+      case ScaledPattern::SB: {
+        for (int i = 0; i < threads; ++i) {
+            int t = b.newThread();
+            b.write(t, "x" + std::to_string(i), 1, MemOrder::Plain);
+            b.read(t, "r0",
+                   "x" + std::to_string((i + 1) % threads),
+                   MemOrder::Plain);
+            addConj(regEq(i, "r0", 0));
+        }
+        break;
+      }
+      case ScaledPattern::LB: {
+        for (int i = 0; i < threads; ++i) {
+            int t = b.newThread();
+            b.read(t, "r0", "x" + std::to_string(i), MemOrder::Plain);
+            b.write(t, "x" + std::to_string((i + 1) % threads), 1,
+                    MemOrder::Plain);
+            addConj(regEq(i, "r0", 1));
+        }
+        break;
+      }
+      case ScaledPattern::IRIW: {
+        GPUMC_ASSERT(threads >= 4 && threads % 2 == 0,
+                     "IRIW needs an even thread count >= 4");
+        int writers = threads / 2;
+        for (int i = 0; i < writers; ++i) {
+            int t = b.newThread();
+            b.write(t, "x" + std::to_string(i), 1, MemOrder::Plain);
+        }
+        for (int i = 0; i < writers; ++i) {
+            int t = b.newThread();
+            b.read(t, "r0", "x" + std::to_string(i), MemOrder::Plain);
+            b.read(t, "r1", "x" + std::to_string((i + 1) % writers),
+                   MemOrder::Plain);
+            addConj(regEq(t, "r0", 1));
+            addConj(regEq(t, "r1", 0));
+        }
+        break;
+      }
+    }
+    std::string name = std::string(scaledPatternName(pattern)) + "-" +
+                       std::to_string(threads);
+    return b.finish(name, prog::AssertKind::Exists, std::move(cond));
+}
+
+} // namespace gpumc::litmus

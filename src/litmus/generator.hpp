@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Programmatic litmus-test generation for the model-validation table
+ * (Table 5) and the scalability study (Fig. 15).
+ *
+ * The pattern suite mirrors how the paper's corpus was assembled:
+ * classic weak-consistency shapes (MP, SB, LB, IRIW, CoRR, CoWW, WRC,
+ * 2+2W, S) crossed with synchronization strength, instruction scope and
+ * thread placement, plus proxy variants for PTX v7.5 and storage-class
+ * variants for Vulkan. The progress suite reconstructs GPU-Harbor-style
+ * spinloop tests for the liveness rows.
+ */
+
+#ifndef GPUMC_LITMUS_GENERATOR_HPP
+#define GPUMC_LITMUS_GENERATOR_HPP
+
+#include <string>
+#include <vector>
+
+#include "program/program.hpp"
+
+namespace gpumc::litmus {
+
+struct GeneratedTest {
+    std::string name;
+    prog::Program program;
+    /** True for the spinloop/forward-progress (liveness) tests. */
+    bool isProgress = false;
+    /** True when the test exercises proxies / the constant proxy. */
+    bool usesProxies = false;
+};
+
+/** The pattern suite for one architecture. */
+std::vector<GeneratedTest> generatePatternSuite(prog::Arch arch,
+                                                bool withProxies);
+
+/** Spinloop forward-progress tests (checked for liveness). */
+std::vector<GeneratedTest> generateProgressSuite(prog::Arch arch);
+
+/** Scalable pattern families for the Fig. 15 sweeps. */
+enum class ScaledPattern { MP, SB, LB, IRIW };
+
+const char *scaledPatternName(ScaledPattern pattern);
+
+/**
+ * Generate an N-thread instance of a pattern (N >= 2; IRIW requires
+ * even N >= 4). All tests are straight-line so the explicit baseline
+ * can run them too.
+ */
+prog::Program generateScaled(ScaledPattern pattern, prog::Arch arch,
+                             int threads);
+
+} // namespace gpumc::litmus
+
+#endif // GPUMC_LITMUS_GENERATOR_HPP

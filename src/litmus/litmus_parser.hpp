@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Structural parser for litmus tests in the paper's column format:
+ *
+ *   PTX "mp-rel-acq"
+ *   { x = 0; s -> x; }
+ *   P0@cta 0,gpu 0 | P1@cta 0,gpu 0      ;
+ *   st.weak x, 1   | ld.acquire.sys r0, x ;
+ *   exists (P1:r0 == 1)
+ *
+ * The first keyword (PTX or VULKAN) selects the instruction dialect.
+ * Comment lines may carry `@expect key=value` / `@config key=value`
+ * directives which are preserved in Program::meta for the benchmark
+ * and test harnesses.
+ */
+
+#ifndef GPUMC_LITMUS_LITMUS_PARSER_HPP
+#define GPUMC_LITMUS_LITMUS_PARSER_HPP
+
+#include <string>
+#include <string_view>
+
+#include "program/program.hpp"
+
+namespace gpumc::litmus {
+
+/** Parse a litmus test from source. @throws FatalError on errors. */
+prog::Program parseLitmus(std::string_view source);
+
+/** Parse a litmus test from a file. */
+prog::Program parseLitmusFile(const std::string &path);
+
+} // namespace gpumc::litmus
+
+#endif // GPUMC_LITMUS_LITMUS_PARSER_HPP

@@ -1,0 +1,271 @@
+#include "litmus/ptx_dialect.hpp"
+
+#include "litmus/dialect_common.hpp"
+
+namespace gpumc::litmus {
+
+using prog::Instruction;
+using prog::MemOrder;
+using prog::Opcode;
+using prog::Operand;
+using prog::Proxy;
+using prog::ProxyFenceKind;
+using prog::RmwKind;
+
+namespace {
+
+/** Apply order/scope modifier parts; complain about unknown ones. */
+void
+applyModifiers(Instruction &ins, const ParsedMnemonic &m, size_t firstMod,
+               size_t lastMod)
+{
+    bool orderSeen = false;
+    for (size_t i = firstMod; i < lastMod; ++i) {
+        const std::string &mod = m.parts[i];
+        if (auto order = orderFromName(mod)) {
+            ins.order = *order;
+            orderSeen = true;
+            continue;
+        }
+        if (auto scope = scopeFromName(mod)) {
+            ins.scope = *scope;
+            continue;
+        }
+        fatalAt(m.loc, "unknown PTX modifier .", mod);
+    }
+    // PTX accesses are weak unless explicitly ordered; ordered
+    // accesses and all fences are strong operations.
+    ins.atomic = orderSeen ? ins.order != MemOrder::Plain : false;
+}
+
+Instruction
+parseLoad(const ParsedMnemonic &m, const std::vector<std::string> &ops,
+          Proxy proxy)
+{
+    if (ops.size() != 2)
+        fatalAt(m.loc, m.head(), " expects: rdst, location");
+    Instruction ins;
+    ins.op = Opcode::Load;
+    ins.loc = m.loc;
+    ins.proxy = proxy;
+    ins.dst = ops[0];
+    ins.location = ops[1];
+    applyModifiers(ins, m, 1, m.parts.size());
+    return ins;
+}
+
+Instruction
+parseStore(const ParsedMnemonic &m, const std::vector<std::string> &ops,
+           Proxy proxy)
+{
+    if (ops.size() != 2)
+        fatalAt(m.loc, m.head(), " expects: location, value");
+    Instruction ins;
+    ins.op = Opcode::Store;
+    ins.loc = m.loc;
+    ins.proxy = proxy;
+    ins.location = ops[0];
+    ins.src = parseOperand(ops[1], m.loc);
+    applyModifiers(ins, m, 1, m.parts.size());
+    return ins;
+}
+
+Instruction
+parseAtom(const ParsedMnemonic &m, const std::vector<std::string> &ops)
+{
+    // atom.<order>.<scope>.<kind> rdst, loc, v [, v2]
+    Instruction ins;
+    ins.op = Opcode::Rmw;
+    ins.loc = m.loc;
+    ins.atomic = true;
+    ins.order = MemOrder::Rlx;
+
+    bool kindSeen = false;
+    for (size_t i = 1; i < m.parts.size(); ++i) {
+        const std::string &mod = m.parts[i];
+        if (auto order = orderFromName(mod)) {
+            ins.order = *order;
+            continue;
+        }
+        if (auto scope = scopeFromName(mod)) {
+            ins.scope = *scope;
+            continue;
+        }
+        if (mod == "add") {
+            ins.rmwKind = RmwKind::Add;
+            kindSeen = true;
+        } else if (mod == "exch") {
+            ins.rmwKind = RmwKind::Exchange;
+            kindSeen = true;
+        } else if (mod == "cas") {
+            ins.rmwKind = RmwKind::Cas;
+            kindSeen = true;
+        } else {
+            fatalAt(m.loc, "unknown atom modifier .", mod);
+        }
+    }
+    if (!kindSeen)
+        fatalAt(m.loc, "atom requires .add, .exch or .cas");
+    size_t expected = ins.rmwKind == RmwKind::Cas ? 4 : 3;
+    if (ops.size() != expected)
+        fatalAt(m.loc, "atom expects ", expected, " operands");
+    ins.dst = ops[0];
+    ins.location = ops[1];
+    ins.src = parseOperand(ops[2], m.loc);
+    if (ins.rmwKind == RmwKind::Cas)
+        ins.src2 = parseOperand(ops[3], m.loc);
+    return ins;
+}
+
+Instruction
+parseFence(const ParsedMnemonic &m)
+{
+    Instruction ins;
+    ins.loc = m.loc;
+    ins.atomic = true;
+    if (m.parts.size() >= 2 && m.parts[1] == "proxy") {
+        ins.op = Opcode::ProxyFence;
+        if (m.parts.size() < 3)
+            fatalAt(m.loc, "fence.proxy requires a proxy kind");
+        const std::string &kind = m.parts[2];
+        if (kind == "alias") {
+            ins.proxyFence = ProxyFenceKind::Alias;
+        } else if (kind == "texture") {
+            ins.proxyFence = ProxyFenceKind::Texture;
+        } else if (kind == "surface") {
+            ins.proxyFence = ProxyFenceKind::Surface;
+        } else if (kind == "constant") {
+            ins.proxyFence = ProxyFenceKind::Constant;
+        } else {
+            fatalAt(m.loc, "unknown proxy fence kind .", kind);
+        }
+        for (size_t i = 3; i < m.parts.size(); ++i) {
+            if (auto scope = scopeFromName(m.parts[i])) {
+                ins.scope = *scope;
+            } else {
+                fatalAt(m.loc, "unknown proxy fence modifier .",
+                        m.parts[i]);
+            }
+        }
+        // Proxy fences act within a CTA (paper Fig. 4, pxyFM uses scta).
+        if (!ins.scope)
+            ins.scope = prog::Scope::Cta;
+        return ins;
+    }
+    ins.op = Opcode::Fence;
+    ins.order = MemOrder::AcqRel;
+    for (size_t i = 1; i < m.parts.size(); ++i) {
+        const std::string &mod = m.parts[i];
+        if (auto order = orderFromName(mod)) {
+            ins.order = *order;
+        } else if (auto scope = scopeFromName(mod)) {
+            ins.scope = *scope;
+        } else {
+            fatalAt(m.loc, "unknown fence modifier .", mod);
+        }
+    }
+    return ins;
+}
+
+Instruction
+parseBar(const ParsedMnemonic &m, const std::vector<std::string> &ops)
+{
+    // bar.cta.sync <id>; PTX control barriers are CTA-scoped.
+    Instruction ins;
+    ins.op = Opcode::Barrier;
+    ins.loc = m.loc;
+    ins.scope = prog::Scope::Cta;
+    for (size_t i = 1; i < m.parts.size(); ++i) {
+        const std::string &mod = m.parts[i];
+        if (mod == "sync")
+            continue;
+        if (auto scope = scopeFromName(mod)) {
+            ins.scope = *scope;
+            continue;
+        }
+        fatalAt(m.loc, "unknown bar modifier .", mod);
+    }
+    if (ops.size() != 1)
+        fatalAt(m.loc, "bar expects one barrier-id operand");
+    ins.barrierId = parseOperand(ops[0], m.loc);
+    return ins;
+}
+
+} // namespace
+
+std::vector<Instruction>
+parsePtxInstruction(std::string_view cell, SourceLoc loc)
+{
+    std::string operandText;
+    ParsedMnemonic m = splitMnemonic(cell, loc, operandText);
+    std::vector<std::string> ops = splitOperands(operandText);
+    const std::string &head = m.head();
+
+    if (head == "ld")
+        return {parseLoad(m, ops, Proxy::Generic)};
+    if (head == "suld")
+        return {parseLoad(m, ops, Proxy::Surface)};
+    if (head == "tld")
+        return {parseLoad(m, ops, Proxy::Texture)};
+    if (head == "cld")
+        return {parseLoad(m, ops, Proxy::Constant)};
+    if (head == "st")
+        return {parseStore(m, ops, Proxy::Generic)};
+    if (head == "sust")
+        return {parseStore(m, ops, Proxy::Surface)};
+    if (head == "tst")
+        return {parseStore(m, ops, Proxy::Texture)};
+    if (head == "cst")
+        return {parseStore(m, ops, Proxy::Constant)};
+    if (head == "atom")
+        return {parseAtom(m, ops)};
+    if (head == "fence" || head == "membar")
+        return {parseFence(m)};
+    if (head == "bar")
+        return {parseBar(m, ops)};
+
+    if (head == "goto") {
+        if (ops.size() != 1)
+            fatalAt(loc, "goto expects a label");
+        Instruction ins;
+        ins.op = Opcode::Goto;
+        ins.loc = loc;
+        ins.label = ops[0];
+        return {ins};
+    }
+    if (head == "bne" || head == "beq") {
+        if (ops.size() != 3)
+            fatalAt(loc, head, " expects: lhs, rhs, label");
+        Instruction ins;
+        ins.op = head == "bne" ? Opcode::BranchNe : Opcode::BranchEq;
+        ins.loc = loc;
+        ins.branchLhs = parseOperand(ops[0], loc);
+        ins.branchRhs = parseOperand(ops[1], loc);
+        ins.label = ops[2];
+        return {ins};
+    }
+    if (head == "mov") {
+        if (ops.size() != 2)
+            fatalAt(loc, "mov expects: rdst, value");
+        Instruction ins;
+        ins.op = Opcode::Mov;
+        ins.loc = loc;
+        ins.dst = ops[0];
+        ins.src = parseOperand(ops[1], loc);
+        return {ins};
+    }
+    if (head == "add") {
+        if (ops.size() != 3)
+            fatalAt(loc, "add expects: rdst, lhs, rhs");
+        Instruction ins;
+        ins.op = Opcode::AddReg;
+        ins.loc = loc;
+        ins.dst = ops[0];
+        ins.branchLhs = parseOperand(ops[1], loc);
+        ins.src = parseOperand(ops[2], loc);
+        return {ins};
+    }
+    fatalAt(loc, "unknown PTX instruction '", head, "'");
+}
+
+} // namespace gpumc::litmus

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Instruction parser for the PTX-style litmus dialect used throughout
+ * the paper (Figs. 6, 7, 12, 13):
+ *
+ *   st.weak x, 1                  ld.acquire.sys r0, x
+ *   atom.acq.gpu.add r1, in, 1    atom.rlx.gpu.cas r1, x, 0, 1
+ *   fence.sc.cta                  fence.proxy.alias
+ *   sust.weak s, 1   suld.weak r0, s   tld.weak r1, t   tst.weak t, 1
+ *   bar.cta.sync 1                bar.cta.sync r2
+ *   LC00:   goto LC00   bne r1, 0, LC01   beq r1, r2, LC01
+ *   mov r1, 5   add r1, r2, 1
+ */
+
+#ifndef GPUMC_LITMUS_PTX_DIALECT_HPP
+#define GPUMC_LITMUS_PTX_DIALECT_HPP
+
+#include <string_view>
+#include <vector>
+
+#include "program/instruction.hpp"
+
+namespace gpumc::litmus {
+
+/** Parse one PTX-dialect instruction cell (never a bare label). */
+std::vector<prog::Instruction> parsePtxInstruction(std::string_view cell,
+                                                   SourceLoc loc);
+
+} // namespace gpumc::litmus
+
+#endif // GPUMC_LITMUS_PTX_DIALECT_HPP

@@ -1,0 +1,283 @@
+#include "litmus/vulkan_dialect.hpp"
+
+#include "litmus/dialect_common.hpp"
+
+namespace gpumc::litmus {
+
+using prog::Instruction;
+using prog::MemOrder;
+using prog::Opcode;
+using prog::Operand;
+using prog::RmwKind;
+using prog::Scope;
+using prog::StorageClass;
+
+namespace {
+
+/**
+ * Apply Vulkan modifiers common to accesses/fences. Returns true for
+ * each modifier consumed; unknown modifiers are fatal.
+ */
+void
+applyVulkanModifier(Instruction &ins, const std::string &mod,
+                    SourceLoc loc)
+{
+    if (mod == "atom") {
+        ins.atomic = true;
+        return;
+    }
+    if (auto order = orderFromName(mod)) {
+        ins.order = *order;
+        return;
+    }
+    if (auto scope = scopeFromName(mod)) {
+        ins.scope = *scope;
+        return;
+    }
+    if (mod == "sc0") {
+        ins.storageClass = StorageClass::Sc0;
+        return;
+    }
+    if (mod == "sc1") {
+        ins.storageClass = StorageClass::Sc1;
+        return;
+    }
+    if (mod == "semsc0") {
+        ins.semSc0 = true;
+        return;
+    }
+    if (mod == "semsc1") {
+        ins.semSc1 = true;
+        return;
+    }
+    if (mod == "av") {
+        ins.avFlag = true;
+        return;
+    }
+    if (mod == "vis") {
+        ins.visFlag = true;
+        return;
+    }
+    if (mod == "semav") {
+        ins.semAv = true;
+        return;
+    }
+    if (mod == "semvis") {
+        ins.semVis = true;
+        return;
+    }
+    fatalAt(loc, "unknown Vulkan modifier .", mod);
+}
+
+Instruction
+parseAccess(const ParsedMnemonic &m, const std::vector<std::string> &ops,
+            bool isLoad)
+{
+    Instruction ins;
+    ins.op = isLoad ? Opcode::Load : Opcode::Store;
+    ins.loc = m.loc;
+    for (size_t i = 1; i < m.parts.size(); ++i)
+        applyVulkanModifier(ins, m.parts[i], m.loc);
+    if (!ins.atomic && ins.order != MemOrder::Plain)
+        fatalAt(m.loc, "non-atomic access cannot carry a memory order");
+    if (ops.size() != 2) {
+        fatalAt(m.loc, m.head(),
+                isLoad ? " expects: rdst, location"
+                       : " expects: location, value");
+    }
+    if (isLoad) {
+        ins.dst = ops[0];
+        ins.location = ops[1];
+    } else {
+        ins.location = ops[0];
+        ins.src = parseOperand(ops[1], m.loc);
+    }
+    return ins;
+}
+
+Instruction
+parseAtom(const ParsedMnemonic &m, const std::vector<std::string> &ops)
+{
+    Instruction ins;
+    ins.op = Opcode::Rmw;
+    ins.loc = m.loc;
+    ins.atomic = true;
+    ins.order = MemOrder::Rlx;
+    bool kindSeen = false;
+    for (size_t i = 1; i < m.parts.size(); ++i) {
+        const std::string &mod = m.parts[i];
+        if (mod == "add") {
+            ins.rmwKind = RmwKind::Add;
+            kindSeen = true;
+        } else if (mod == "exch") {
+            ins.rmwKind = RmwKind::Exchange;
+            kindSeen = true;
+        } else if (mod == "cas") {
+            ins.rmwKind = RmwKind::Cas;
+            kindSeen = true;
+        } else {
+            applyVulkanModifier(ins, mod, m.loc);
+        }
+    }
+    if (!kindSeen)
+        fatalAt(m.loc, "atom requires .add, .exch or .cas");
+    size_t expected = ins.rmwKind == RmwKind::Cas ? 4 : 3;
+    if (ops.size() != expected)
+        fatalAt(m.loc, "atom expects ", expected, " operands");
+    ins.dst = ops[0];
+    ins.location = ops[1];
+    ins.src = parseOperand(ops[2], m.loc);
+    if (ins.rmwKind == RmwKind::Cas)
+        ins.src2 = parseOperand(ops[3], m.loc);
+    return ins;
+}
+
+Instruction
+parseMembar(const ParsedMnemonic &m)
+{
+    Instruction ins;
+    ins.op = Opcode::Fence;
+    ins.loc = m.loc;
+    ins.atomic = true;
+    ins.order = MemOrder::AcqRel;
+    for (size_t i = 1; i < m.parts.size(); ++i)
+        applyVulkanModifier(ins, m.parts[i], m.loc);
+    if (!ins.semSc0 && !ins.semSc1)
+        ins.semSc0 = true; // default semantics: storage class 0
+    return ins;
+}
+
+std::vector<Instruction>
+parseCbar(const ParsedMnemonic &m, const std::vector<std::string> &ops)
+{
+    Instruction bar;
+    bar.op = Opcode::Barrier;
+    bar.loc = m.loc;
+    MemOrder memSem = MemOrder::Plain;
+    bool sem0 = false, sem1 = false;
+    for (size_t i = 1; i < m.parts.size(); ++i) {
+        const std::string &mod = m.parts[i];
+        if (auto order = orderFromName(mod)) {
+            memSem = *order;
+            continue;
+        }
+        if (auto scope = scopeFromName(mod)) {
+            bar.scope = *scope;
+            continue;
+        }
+        if (mod == "semsc0") {
+            sem0 = true;
+            continue;
+        }
+        if (mod == "semsc1") {
+            sem1 = true;
+            continue;
+        }
+        fatalAt(m.loc, "unknown cbar modifier .", mod);
+    }
+    if (ops.size() != 1)
+        fatalAt(m.loc, "cbar expects one barrier-id operand");
+    bar.barrierId = parseOperand(ops[0], m.loc);
+    if (!bar.scope)
+        bar.scope = Scope::Wg;
+
+    if (memSem == MemOrder::Plain)
+        return {bar};
+
+    // A barrier with memory semantics expands into
+    //   membar.rel ; cbar ; membar.acq
+    // matching the fence->barrier->fence synchronizes-with case of the
+    // Vulkan model (paper Fig. 8, lines 29-30).
+    auto mkFence = [&](MemOrder order) {
+        Instruction f;
+        f.op = Opcode::Fence;
+        f.loc = m.loc;
+        f.atomic = true;
+        f.order = order;
+        f.scope = bar.scope;
+        f.semSc0 = sem0 || !sem1;
+        f.semSc1 = sem1;
+        return f;
+    };
+    std::vector<Instruction> out;
+    if (memSem == MemOrder::Rel || memSem == MemOrder::AcqRel)
+        out.push_back(mkFence(MemOrder::Rel));
+    out.push_back(bar);
+    if (memSem == MemOrder::Acq || memSem == MemOrder::AcqRel)
+        out.push_back(mkFence(MemOrder::Acq));
+    return out;
+}
+
+} // namespace
+
+std::vector<Instruction>
+parseVulkanInstruction(std::string_view cell, SourceLoc loc)
+{
+    std::string operandText;
+    ParsedMnemonic m = splitMnemonic(cell, loc, operandText);
+    std::vector<std::string> ops = splitOperands(operandText);
+    const std::string &head = m.head();
+
+    if (head == "ld")
+        return {parseAccess(m, ops, true)};
+    if (head == "st")
+        return {parseAccess(m, ops, false)};
+    if (head == "atom" || head == "rmw")
+        return {parseAtom(m, ops)};
+    if (head == "membar" || head == "fence")
+        return {parseMembar(m)};
+    if (head == "cbar")
+        return parseCbar(m, ops);
+    if (head == "avdevice" || head == "visdevice") {
+        Instruction ins;
+        ins.op = head == "avdevice" ? Opcode::AvDevice : Opcode::VisDevice;
+        ins.loc = loc;
+        ins.scope = Scope::Dv;
+        return {ins};
+    }
+
+    if (head == "goto") {
+        if (ops.size() != 1)
+            fatalAt(loc, "goto expects a label");
+        Instruction ins;
+        ins.op = Opcode::Goto;
+        ins.loc = loc;
+        ins.label = ops[0];
+        return {ins};
+    }
+    if (head == "bne" || head == "beq") {
+        if (ops.size() != 3)
+            fatalAt(loc, head, " expects: lhs, rhs, label");
+        Instruction ins;
+        ins.op = head == "bne" ? Opcode::BranchNe : Opcode::BranchEq;
+        ins.loc = loc;
+        ins.branchLhs = parseOperand(ops[0], loc);
+        ins.branchRhs = parseOperand(ops[1], loc);
+        ins.label = ops[2];
+        return {ins};
+    }
+    if (head == "mov") {
+        if (ops.size() != 2)
+            fatalAt(loc, "mov expects: rdst, value");
+        Instruction ins;
+        ins.op = Opcode::Mov;
+        ins.loc = loc;
+        ins.dst = ops[0];
+        ins.src = parseOperand(ops[1], loc);
+        return {ins};
+    }
+    if (head == "add") {
+        if (ops.size() != 3)
+            fatalAt(loc, "add expects: rdst, lhs, rhs");
+        Instruction ins;
+        ins.op = Opcode::AddReg;
+        ins.loc = loc;
+        ins.dst = ops[0];
+        ins.branchLhs = parseOperand(ops[1], loc);
+        ins.src = parseOperand(ops[2], loc);
+        return {ins};
+    }
+    fatalAt(loc, "unknown Vulkan instruction '", head, "'");
+}
+
+} // namespace gpumc::litmus

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Instruction parser for the Vulkan-style litmus dialect used in the
+ * paper (Figs. 9, 10, 16):
+ *
+ *   st.atom.dv.sc0 data, 1        st.atom.rel.dv.sc0 flag, 1
+ *   ld.atom.acq.dv.sc0 r1, flag   st.sc0.av data, 1
+ *   atom.add.acq.dv.sc0 r1, x, 1  atom.cas.dv.sc0 r1, x, 0, 1
+ *   membar.rel.dv.semsc0          membar.acq.dv.semsc0.semsc1.semvis
+ *   cbar.wg 1                     cbar.acqrel.wg.semsc0 1 (expands)
+ *   avdevice                       visdevice
+ *   LC00:  goto LC00  bne r1, 0, LC01  beq r1, r2, LC01  mov  add
+ */
+
+#ifndef GPUMC_LITMUS_VULKAN_DIALECT_HPP
+#define GPUMC_LITMUS_VULKAN_DIALECT_HPP
+
+#include <string_view>
+#include <vector>
+
+#include "program/instruction.hpp"
+
+namespace gpumc::litmus {
+
+/**
+ * Parse one Vulkan-dialect instruction cell. May expand to several IR
+ * instructions (a control barrier with memory semantics becomes
+ * release fence + barrier + acquire fence).
+ */
+std::vector<prog::Instruction> parseVulkanInstruction(std::string_view cell,
+                                                      SourceLoc loc);
+
+} // namespace gpumc::litmus
+
+#endif // GPUMC_LITMUS_VULKAN_DIALECT_HPP

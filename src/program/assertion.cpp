@@ -1,0 +1,122 @@
+#include "program/assertion.hpp"
+
+#include "support/diagnostics.hpp"
+
+namespace gpumc::prog {
+
+std::string
+CondTerm::str() const
+{
+    switch (kind) {
+      case Kind::Reg:
+        return "P" + std::to_string(thread) + ":" + name;
+      case Kind::Mem:
+        return name;
+      case Kind::Const:
+        return std::to_string(value);
+    }
+    return "?";
+}
+
+CondPtr
+Cond::mkTrue()
+{
+    auto c = std::make_unique<Cond>();
+    c->kind = Kind::True;
+    return c;
+}
+
+CondPtr
+Cond::mkAnd(CondPtr a, CondPtr b)
+{
+    auto c = std::make_unique<Cond>();
+    c->kind = Kind::And;
+    c->lhs = std::move(a);
+    c->rhs = std::move(b);
+    return c;
+}
+
+CondPtr
+Cond::mkOr(CondPtr a, CondPtr b)
+{
+    auto c = std::make_unique<Cond>();
+    c->kind = Kind::Or;
+    c->lhs = std::move(a);
+    c->rhs = std::move(b);
+    return c;
+}
+
+CondPtr
+Cond::mkNot(CondPtr a)
+{
+    auto c = std::make_unique<Cond>();
+    c->kind = Kind::Not;
+    c->lhs = std::move(a);
+    return c;
+}
+
+CondPtr
+Cond::mkCmp(bool equal, CondTerm a, CondTerm b)
+{
+    auto c = std::make_unique<Cond>();
+    c->kind = equal ? Kind::Eq : Kind::Ne;
+    c->tl = std::move(a);
+    c->tr = std::move(b);
+    return c;
+}
+
+std::string
+Cond::str() const
+{
+    switch (kind) {
+      case Kind::True:
+        return "true";
+      case Kind::And:
+        return "(" + lhs->str() + " /\\ " + rhs->str() + ")";
+      case Kind::Or:
+        return "(" + lhs->str() + " \\/ " + rhs->str() + ")";
+      case Kind::Not:
+        return "~" + lhs->str();
+      case Kind::Eq:
+        return tl.str() + " == " + tr.str();
+      case Kind::Ne:
+        return tl.str() + " != " + tr.str();
+    }
+    return "?";
+}
+
+const char *
+assertKindName(AssertKind kind)
+{
+    switch (kind) {
+      case AssertKind::Exists: return "exists";
+      case AssertKind::NotExists: return "~exists";
+      case AssertKind::Forall: return "forall";
+    }
+    return "?";
+}
+
+bool
+evalCond(const Cond &cond,
+         const std::function<int64_t(const CondTerm &)> &valuation)
+{
+    switch (cond.kind) {
+      case Cond::Kind::True:
+        return true;
+      case Cond::Kind::And:
+        return evalCond(*cond.lhs, valuation) &&
+               evalCond(*cond.rhs, valuation);
+      case Cond::Kind::Or:
+        return evalCond(*cond.lhs, valuation) ||
+               evalCond(*cond.rhs, valuation);
+      case Cond::Kind::Not:
+        return !evalCond(*cond.lhs, valuation);
+      case Cond::Kind::Eq:
+        return valuation(cond.tl) == valuation(cond.tr);
+      case Cond::Kind::Ne:
+        return valuation(cond.tl) != valuation(cond.tr);
+    }
+    GPUMC_PANIC("unhandled condition kind");
+}
+
+} // namespace gpumc::prog

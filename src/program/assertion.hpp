@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The litmus condition language: `exists`, `~exists`, `forall` and
+ * `filter` clauses over final register and memory values.
+ */
+
+#ifndef GPUMC_PROGRAM_ASSERTION_HPP
+#define GPUMC_PROGRAM_ASSERTION_HPP
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+namespace gpumc::prog {
+
+/** A term in a litmus condition. */
+struct CondTerm {
+    enum class Kind { Reg, Mem, Const } kind = Kind::Const;
+    int thread = -1;     // for Reg
+    std::string name;    // register or variable name
+    int64_t value = 0;   // for Const
+
+    static CondTerm makeReg(int thread, std::string reg)
+    {
+        CondTerm t;
+        t.kind = Kind::Reg;
+        t.thread = thread;
+        t.name = std::move(reg);
+        return t;
+    }
+    static CondTerm makeMem(std::string var)
+    {
+        CondTerm t;
+        t.kind = Kind::Mem;
+        t.name = std::move(var);
+        return t;
+    }
+    static CondTerm makeConst(int64_t v)
+    {
+        CondTerm t;
+        t.kind = Kind::Const;
+        t.value = v;
+        return t;
+    }
+
+    std::string str() const;
+};
+
+struct Cond;
+using CondPtr = std::unique_ptr<Cond>;
+
+/** Boolean structure of a condition. */
+struct Cond {
+    enum class Kind { And, Or, Not, Eq, Ne, True } kind = Kind::True;
+    CondPtr lhs, rhs;       // And / Or / Not (lhs only)
+    CondTerm tl, tr;        // Eq / Ne leaves
+
+    static CondPtr mkTrue();
+    static CondPtr mkAnd(CondPtr a, CondPtr b);
+    static CondPtr mkOr(CondPtr a, CondPtr b);
+    static CondPtr mkNot(CondPtr a);
+    static CondPtr mkCmp(bool equal, CondTerm a, CondTerm b);
+
+    std::string str() const;
+};
+
+/** Quantifier of the final-state condition. */
+enum class AssertKind { Exists, NotExists, Forall };
+
+const char *assertKindName(AssertKind kind);
+
+/**
+ * Evaluate a condition given a valuation of its terms (used by the
+ * explicit checker and by witness validation).
+ */
+bool evalCond(const Cond &cond,
+              const std::function<int64_t(const CondTerm &)> &valuation);
+
+} // namespace gpumc::prog
+
+#endif // GPUMC_PROGRAM_ASSERTION_HPP

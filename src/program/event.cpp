@@ -1,0 +1,259 @@
+#include "program/event.hpp"
+
+namespace gpumc::prog {
+
+bool
+eventHasTag(const Event &e, const std::string &name)
+{
+    if (name == "_")
+        return true;
+    if (name == "M")
+        return e.tags.count("W") || e.tags.count("R");
+    if (name == "B")
+        return e.tags.count("CBAR") != 0;
+    if (name == "I")
+        return e.tags.count("IW") != 0;
+    return e.tags.count(name) != 0;
+}
+
+namespace {
+
+void
+addOrderTags(Event &e, MemOrder order)
+{
+    switch (order) {
+      case MemOrder::Plain:
+        e.tags.insert("WEAK");
+        break;
+      case MemOrder::Rlx:
+        e.tags.insert("RLX");
+        break;
+      case MemOrder::Acq:
+        e.tags.insert("ACQ");
+        break;
+      case MemOrder::Rel:
+        e.tags.insert("REL");
+        break;
+      case MemOrder::AcqRel:
+        e.tags.insert("ACQ");
+        e.tags.insert("REL");
+        break;
+      case MemOrder::Sc:
+        e.tags.insert("SC");
+        e.tags.insert("ACQ");
+        e.tags.insert("REL");
+        break;
+    }
+}
+
+void
+addScopeTag(Event &e, Scope scope)
+{
+    switch (scope) {
+      case Scope::Cta: e.tags.insert("CTA"); break;
+      case Scope::Gpu: e.tags.insert("GPU"); break;
+      case Scope::Sys: e.tags.insert("SYS"); break;
+      case Scope::Sg: e.tags.insert("SG"); break;
+      case Scope::Wg: e.tags.insert("WG"); break;
+      case Scope::Qf: e.tags.insert("QF"); break;
+      case Scope::Dv: e.tags.insert("DV"); break;
+    }
+}
+
+void
+addProxyTag(Event &e, Proxy proxy)
+{
+    switch (proxy) {
+      case Proxy::Generic: e.tags.insert("GEN"); break;
+      case Proxy::Texture: e.tags.insert("TEX"); break;
+      case Proxy::Surface: e.tags.insert("SUR"); break;
+      case Proxy::Constant: e.tags.insert("CON"); break;
+    }
+}
+
+void
+addStorageClassTags(Event &e, const Instruction &ins)
+{
+    StorageClass sc = ins.storageClass.value_or(StorageClass::Sc0);
+    if (ins.isMemoryAccess())
+        e.tags.insert(sc == StorageClass::Sc0 ? "SC0" : "SC1");
+    // Storage-class *semantics*: explicit flags on fences/atomics; an
+    // atomic access implicitly carries the semantics of its own class.
+    bool sem0 = ins.semSc0;
+    bool sem1 = ins.semSc1;
+    if (ins.isMemoryAccess() && ins.atomic)
+        (sc == StorageClass::Sc0 ? sem0 : sem1) = true;
+    if (sem0)
+        e.tags.insert("SEMSC0");
+    if (sem1)
+        e.tags.insert("SEMSC1");
+}
+
+} // namespace
+
+void
+computeEventTags(Event &e, const Instruction &ins, Arch arch,
+                 bool isWritePart)
+{
+    switch (ins.op) {
+      case Opcode::Load:
+        e.kind = EventKind::Read;
+        e.tags.insert("R");
+        break;
+      case Opcode::Store:
+        e.kind = EventKind::Write;
+        e.tags.insert("W");
+        break;
+      case Opcode::Rmw:
+        e.kind = isWritePart ? EventKind::Write : EventKind::Read;
+        e.tags.insert(isWritePart ? "W" : "R");
+        e.tags.insert("RMW");
+        break;
+      case Opcode::Fence:
+        e.kind = EventKind::Fence;
+        e.tags.insert("F");
+        break;
+      case Opcode::ProxyFence:
+        e.kind = EventKind::Fence;
+        e.tags.insert("F");
+        break;
+      case Opcode::Barrier:
+        e.kind = EventKind::Barrier;
+        e.tags.insert("CBAR");
+        break;
+      case Opcode::AvDevice:
+        e.kind = EventKind::Aux;
+        e.tags.insert("AVDEVICE");
+        break;
+      case Opcode::VisDevice:
+        e.kind = EventKind::Aux;
+        e.tags.insert("VISDEVICE");
+        break;
+      default:
+        GPUMC_PANIC("instruction does not produce an event");
+    }
+
+    if (ins.isMemoryAccess()) {
+        e.tags.insert("NONPRIV");
+        if (ins.atomic || ins.op == Opcode::Rmw)
+            e.tags.insert("A");
+        addOrderTags(e, ins.order);
+    } else if (ins.op == Opcode::Fence) {
+        addOrderTags(e, ins.order);
+    }
+
+    if (ins.producesEvent() && ins.scope)
+        addScopeTag(e, *ins.scope);
+
+    if (arch == Arch::Ptx) {
+        if (ins.isMemoryAccess()) {
+            addProxyTag(e, ins.proxy);
+        } else if (ins.op == Opcode::Fence) {
+            e.tags.insert("GEN");
+        } else if (ins.op == Opcode::ProxyFence) {
+            switch (ins.proxyFence) {
+              case ProxyFenceKind::Alias:
+                e.tags.insert("ALIAS");
+                e.tags.insert("GEN");
+                break;
+              case ProxyFenceKind::Texture:
+                e.tags.insert("TEX");
+                break;
+              case ProxyFenceKind::Surface:
+                e.tags.insert("SUR");
+                break;
+              case ProxyFenceKind::Constant:
+                e.tags.insert("CON");
+                break;
+            }
+        }
+    } else { // Vulkan
+        if (ins.isMemoryAccess() || ins.op == Opcode::Fence)
+            addStorageClassTags(e, ins);
+        // Availability/visibility: atomics are available and visible by
+        // default (Section 3.4); non-atomics need explicit flags.
+        bool isAtomic = ins.isMemoryAccess() &&
+                        (ins.atomic || ins.op == Opcode::Rmw);
+        if (isAtomic || ins.avFlag)
+            e.tags.insert("AV");
+        if (isAtomic || ins.visFlag)
+            e.tags.insert("VIS");
+        // Release semantics imply an availability operation and acquire
+        // semantics a visibility operation (Vulkan memory model): a
+        // release fence/atomic makes preceding writes of its storage
+        // classes available, an acquire one makes later reads see them.
+        bool hasSem = ins.semSc0 || ins.semSc1 || isAtomic;
+        if (ins.semAv || (hasSem && e.tags.count("REL")))
+            e.tags.insert("SEMAV");
+        if (ins.semVis || (hasSem && e.tags.count("ACQ")))
+            e.tags.insert("SEMVIS");
+    }
+}
+
+void
+computeInitTags(Event &e, Arch arch, StorageClass sc)
+{
+    e.kind = EventKind::Write;
+    e.isInit = true;
+    e.tags = {"W", "IW", "NONPRIV"};
+    e.scope = arch == Arch::Ptx ? Scope::Sys : Scope::Dv;
+    if (arch == Arch::Ptx) {
+        // Initial values are observable through every proxy.
+        e.tags.insert({"GEN", "TEX", "SUR", "CON"});
+    } else {
+        e.tags.insert(sc == StorageClass::Sc0 ? "SC0" : "SC1");
+        // Initial values are available and visible everywhere.
+        e.tags.insert({"AV", "VIS"});
+    }
+}
+
+// --- scope hierarchy ------------------------------------------------------
+
+bool
+sameCta(const ThreadPlacement &a, const ThreadPlacement &b)
+{
+    return a.gpu == b.gpu && a.cta == b.cta;
+}
+
+bool
+sameSg(const ThreadPlacement &a, const ThreadPlacement &b)
+{
+    return a.qf == b.qf && a.wg == b.wg && a.sg == b.sg;
+}
+
+bool
+sameWg(const ThreadPlacement &a, const ThreadPlacement &b)
+{
+    return a.qf == b.qf && a.wg == b.wg;
+}
+
+bool
+sameQf(const ThreadPlacement &a, const ThreadPlacement &b)
+{
+    return a.qf == b.qf;
+}
+
+bool
+scopeIncludes(const ThreadPlacement &self, Scope scope,
+              const ThreadPlacement &other)
+{
+    switch (scope) {
+      case Scope::Cta:
+        return sameCta(self, other);
+      case Scope::Gpu:
+        return self.gpu == other.gpu;
+      case Scope::Sys:
+        return true;
+      case Scope::Sg:
+        return sameSg(self, other);
+      case Scope::Wg:
+        return sameWg(self, other);
+      case Scope::Qf:
+        return sameQf(self, other);
+      case Scope::Dv:
+        return true;
+    }
+    return false;
+}
+
+} // namespace gpumc::prog

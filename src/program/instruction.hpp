@@ -1,0 +1,149 @@
+/**
+ * @file
+ * The instruction set of gpumc's common program IR. Both litmus
+ * dialects (PTX, Vulkan) and the SPIR-V front-end lower to this IR.
+ */
+
+#ifndef GPUMC_PROGRAM_INSTRUCTION_HPP
+#define GPUMC_PROGRAM_INSTRUCTION_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "program/types.hpp"
+#include "support/diagnostics.hpp"
+
+namespace gpumc::prog {
+
+/** A register name or an integer constant. */
+struct Operand {
+    enum class Kind { Reg, Const } kind = Kind::Const;
+    std::string reg;
+    int64_t value = 0;
+
+    static Operand makeReg(std::string name)
+    {
+        Operand o;
+        o.kind = Kind::Reg;
+        o.reg = std::move(name);
+        return o;
+    }
+    static Operand makeConst(int64_t v)
+    {
+        Operand o;
+        o.kind = Kind::Const;
+        o.value = v;
+        return o;
+    }
+
+    bool isReg() const { return kind == Kind::Reg; }
+    std::string str() const
+    {
+        return isReg() ? reg : std::to_string(value);
+    }
+};
+
+/** Read-modify-write flavour. */
+enum class RmwKind { Add, Exchange, Cas };
+
+enum class Opcode {
+    Load,       // dst <- [loc]
+    Store,      // [loc] <- src
+    Rmw,        // dst <- [loc]; [loc] <- f(dst, src)
+    Fence,      // memory fence
+    ProxyFence, // PTX fence.proxy.*
+    Barrier,    // control barrier (id operand); may carry mem semantics
+    AvDevice,   // Vulkan availability operation to the device domain
+    VisDevice,  // Vulkan visibility operation from the device domain
+    Label,
+    Goto,
+    BranchEq,   // if lhs == rhs goto target
+    BranchNe,   // if lhs != rhs goto target
+    Mov,        // dst <- src
+    AddReg,     // dst <- lhs + rhs (register arithmetic)
+};
+
+/**
+ * One IR instruction. Fields are meaningful per opcode; unused fields
+ * keep their defaults. Memory attributes mirror Section 3 of the paper.
+ */
+struct Instruction {
+    Opcode op = Opcode::Label;
+
+    // Memory access attributes.
+    std::string location;               // variable name (Load/Store/Rmw)
+    std::string dst;                    // destination register
+    Operand src;                        // stored value / mov source / rhs
+    Operand src2;                       // CAS desired value
+    MemOrder order = MemOrder::Plain;
+    std::optional<Scope> scope;         // defaulted per-arch if absent
+    bool atomic = false;                // strong (PTX) / atomic (Vulkan)
+    RmwKind rmwKind = RmwKind::Add;
+
+    // PTX proxies.
+    Proxy proxy = Proxy::Generic;
+    ProxyFenceKind proxyFence = ProxyFenceKind::Alias;
+
+    // Vulkan storage classes / semantics / availability-visibility.
+    std::optional<StorageClass> storageClass; // of the access
+    bool semSc0 = false, semSc1 = false;      // fence/atomic semantics
+    bool avFlag = false, visFlag = false;     // per-access av/vis
+    bool semAv = false, semVis = false;       // fence/atomic av/vis sem.
+
+    // Control flow.
+    std::string label;                  // Label name / jump target
+    Operand branchLhs;                  // branch lhs (register, usually)
+    Operand branchRhs;
+
+    // Control barrier.
+    Operand barrierId;                  // constant or register id
+
+    SourceLoc loc;                      // position in the source litmus
+
+    bool isMemoryAccess() const
+    {
+        return op == Opcode::Load || op == Opcode::Store ||
+               op == Opcode::Rmw;
+    }
+    bool producesEvent() const
+    {
+        return isMemoryAccess() || op == Opcode::Fence ||
+               op == Opcode::ProxyFence || op == Opcode::Barrier ||
+               op == Opcode::AvDevice || op == Opcode::VisDevice;
+    }
+    bool isBranch() const
+    {
+        return op == Opcode::BranchEq || op == Opcode::BranchNe;
+    }
+    /**
+     * Side-effect-free instructions may appear in a spinloop body
+     * (Section 6.4: loads and fences are pure; stores, RMWs and
+     * control barriers are not). A failing compare-and-swap performs
+     * no write, so CAS loops are still checkable for liveness (the
+     * paper excludes only exchange loops, Section 8).
+     */
+    bool isSideEffectFree() const
+    {
+        switch (op) {
+          case Opcode::Rmw:
+            return rmwKind == RmwKind::Cas;
+          case Opcode::Load:
+          case Opcode::Fence:
+          case Opcode::ProxyFence:
+          case Opcode::Label:
+          case Opcode::Goto:
+          case Opcode::BranchEq:
+          case Opcode::BranchNe:
+          case Opcode::Mov:
+          case Opcode::AddReg:
+            return true;
+          default:
+            return false;
+        }
+    }
+};
+
+} // namespace gpumc::prog
+
+#endif // GPUMC_PROGRAM_INSTRUCTION_HPP

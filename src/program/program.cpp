@@ -1,0 +1,199 @@
+#include "program/program.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace gpumc::prog {
+
+int
+Program::varIndex(const std::string &varName) const
+{
+    for (size_t i = 0; i < vars.size(); ++i) {
+        if (vars[i].name == varName)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+int
+Program::virtLoc(const std::string &varName) const
+{
+    int idx = varIndex(varName);
+    GPUMC_ASSERT(idx >= 0, "unknown variable ", varName);
+    return idx;
+}
+
+int
+Program::physLoc(const std::string &varName) const
+{
+    int idx = varIndex(varName);
+    GPUMC_ASSERT(idx >= 0, "unknown variable ", varName);
+    GPUMC_ASSERT(!physOf_.empty(), "physLoc before validate()");
+    return physOf_[idx];
+}
+
+bool
+Program::isStraightLine() const
+{
+    for (const Thread &t : threads) {
+        for (const Instruction &ins : t.instrs) {
+            if (ins.op == Opcode::Goto || ins.isBranch())
+                return false;
+        }
+    }
+    return true;
+}
+
+std::vector<int64_t>
+Program::valueUniverse() const
+{
+    std::set<int64_t> values = {0, 1};
+    for (const VarDecl &v : vars)
+        values.insert(v.init);
+    auto addOperand = [&](const Operand &o) {
+        if (!o.isReg())
+            values.insert(o.value);
+    };
+    for (const Thread &t : threads) {
+        for (const Instruction &ins : t.instrs) {
+            addOperand(ins.src);
+            addOperand(ins.src2);
+            addOperand(ins.branchLhs);
+            addOperand(ins.branchRhs);
+        }
+    }
+    return {values.begin(), values.end()};
+}
+
+int
+Program::suggestedValueBits(int bound) const
+{
+    int64_t maxConst = 1;
+    for (int64_t v : valueUniverse())
+        maxConst = std::max(maxConst, std::abs(v));
+    int64_t accumulation = 0;
+    for (const Thread &t : threads) {
+        for (const Instruction &ins : t.instrs) {
+            bool accumulates =
+                (ins.op == Opcode::Rmw && ins.rmwKind == RmwKind::Add) ||
+                ins.op == Opcode::AddReg;
+            if (accumulates && !ins.src.isReg()) {
+                accumulation +=
+                    std::abs(ins.src.value) * (bound + 1);
+            }
+        }
+    }
+    int64_t maxValue = maxConst + accumulation + 1;
+    int bits = 2;
+    while ((int64_t{1} << bits) <= maxValue && bits < 62)
+        bits++;
+    return std::max(3, bits + 1); // one bit of headroom
+}
+
+void
+Program::validateCond(const Cond &cond, const char *what) const
+{
+    switch (cond.kind) {
+      case Cond::Kind::And:
+      case Cond::Kind::Or:
+        validateCond(*cond.lhs, what);
+        validateCond(*cond.rhs, what);
+        return;
+      case Cond::Kind::Not:
+        validateCond(*cond.lhs, what);
+        return;
+      case Cond::Kind::Eq:
+      case Cond::Kind::Ne:
+        for (const CondTerm *t : {&cond.tl, &cond.tr}) {
+            if (t->kind == CondTerm::Kind::Reg) {
+                if (t->thread < 0 || t->thread >= numThreads())
+                    fatal(what, " references unknown thread P", t->thread);
+            } else if (t->kind == CondTerm::Kind::Mem) {
+                if (varIndex(t->name) < 0)
+                    fatal(what, " references unknown variable ", t->name);
+            }
+        }
+        return;
+      case Cond::Kind::True:
+        return;
+    }
+}
+
+void
+Program::validate()
+{
+    if (threads.empty())
+        fatal("program has no threads");
+
+    // Resolve physical locations through alias chains.
+    physOf_.assign(vars.size(), -1);
+    for (size_t i = 0; i < vars.size(); ++i) {
+        // Follow the alias chain to its root.
+        size_t cur = i;
+        std::set<size_t> seen;
+        while (!vars[cur].aliasOf.empty()) {
+            if (!seen.insert(cur).second)
+                fatal("cyclic alias chain involving variable ",
+                      vars[cur].name);
+            int nxt = varIndex(vars[cur].aliasOf);
+            if (nxt < 0)
+                fatal("variable ", vars[cur].name, " aliases unknown ",
+                      vars[cur].aliasOf);
+            cur = static_cast<size_t>(nxt);
+        }
+        physOf_[i] = static_cast<int>(cur);
+    }
+
+    std::set<std::string> varNames;
+    for (const VarDecl &v : vars) {
+        if (!varNames.insert(v.name).second)
+            fatal("duplicate variable declaration: ", v.name);
+    }
+
+    for (Thread &t : threads) {
+        std::map<std::string, int> labels;
+        for (size_t pc = 0; pc < t.instrs.size(); ++pc) {
+            const Instruction &ins = t.instrs[pc];
+            if (ins.op == Opcode::Label) {
+                if (!labels.emplace(ins.label, pc).second) {
+                    fatalAt(ins.loc, "duplicate label ", ins.label, " in ",
+                            t.name);
+                }
+            }
+        }
+        for (Instruction &ins : t.instrs) {
+            if (ins.op == Opcode::Goto || ins.isBranch()) {
+                if (!labels.count(ins.label)) {
+                    fatalAt(ins.loc, "unknown jump target ", ins.label,
+                            " in ", t.name);
+                }
+            }
+            if (ins.isMemoryAccess()) {
+                if (varIndex(ins.location) < 0) {
+                    fatalAt(ins.loc, "unknown variable ", ins.location,
+                            " in ", t.name);
+                }
+            }
+            if (ins.scope && !scopeMatchesArch(*ins.scope, arch)) {
+                fatalAt(ins.loc, "scope .", scopeName(*ins.scope),
+                        " does not belong to architecture ",
+                        archName(arch));
+            }
+            if (arch == Arch::Vulkan && ins.order == MemOrder::Sc) {
+                fatalAt(ins.loc,
+                        "Vulkan has no sequentially-consistent order");
+            }
+            // Default the scope.
+            if (ins.producesEvent() && !ins.scope)
+                ins.scope = defaultScope();
+        }
+    }
+
+    if (assertion)
+        validateCond(*assertion, "assertion");
+    if (filter)
+        validateCond(*filter, "filter");
+}
+
+} // namespace gpumc::prog

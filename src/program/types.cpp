@@ -1,0 +1,48 @@
+#include "program/types.hpp"
+
+namespace gpumc::prog {
+
+const char *
+archName(Arch arch)
+{
+    return arch == Arch::Ptx ? "ptx" : "vulkan";
+}
+
+const char *
+memOrderName(MemOrder order)
+{
+    switch (order) {
+      case MemOrder::Plain: return "plain";
+      case MemOrder::Rlx: return "rlx";
+      case MemOrder::Acq: return "acq";
+      case MemOrder::Rel: return "rel";
+      case MemOrder::AcqRel: return "acq_rel";
+      case MemOrder::Sc: return "sc";
+    }
+    return "?";
+}
+
+const char *
+scopeName(Scope scope)
+{
+    switch (scope) {
+      case Scope::Cta: return "cta";
+      case Scope::Gpu: return "gpu";
+      case Scope::Sys: return "sys";
+      case Scope::Sg: return "sg";
+      case Scope::Wg: return "wg";
+      case Scope::Qf: return "qf";
+      case Scope::Dv: return "dv";
+    }
+    return "?";
+}
+
+bool
+scopeMatchesArch(Scope scope, Arch arch)
+{
+    bool isPtxScope = scope == Scope::Cta || scope == Scope::Gpu ||
+                      scope == Scope::Sys;
+    return (arch == Arch::Ptx) == isPtxScope;
+}
+
+} // namespace gpumc::prog

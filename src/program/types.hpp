@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Shared enumerations for GPU programs: target architecture, memory
+ * orders, scopes, proxies, storage classes (Section 3 of the paper).
+ */
+
+#ifndef GPUMC_PROGRAM_TYPES_HPP
+#define GPUMC_PROGRAM_TYPES_HPP
+
+#include <string>
+
+namespace gpumc::prog {
+
+/** Which GPU programming model a program is written against. */
+enum class Arch { Ptx, Vulkan };
+
+/** Memory order of an access or fence. */
+enum class MemOrder {
+    Plain,  // non-atomic ("weak" in PTX)
+    Rlx,
+    Acq,
+    Rel,
+    AcqRel,
+    Sc,     // PTX only; Vulkan has no SC order
+};
+
+/**
+ * Scope of an instruction. The numeric value orders scopes from the
+ * innermost outward *within one architecture*.
+ *
+ * PTX uses Cta < Gpu < Sys; Vulkan uses Sg < Wg < Qf < Dv.
+ */
+enum class Scope {
+    // PTX
+    Cta = 0,
+    Gpu = 1,
+    Sys = 2,
+    // Vulkan
+    Sg = 10,
+    Wg = 11,
+    Qf = 12,
+    Dv = 13,
+};
+
+/** PTX memory proxy (Section 3.3). */
+enum class Proxy { Generic, Texture, Surface, Constant };
+
+/** Kind of a PTX proxy fence. */
+enum class ProxyFenceKind { Alias, Texture, Surface, Constant };
+
+/** Vulkan storage class (the model abstracts them as sc0/sc1). */
+enum class StorageClass { Sc0, Sc1 };
+
+const char *archName(Arch arch);
+const char *memOrderName(MemOrder order);
+const char *scopeName(Scope scope);
+
+/** True if @p scope belongs to @p arch. */
+bool scopeMatchesArch(Scope scope, Arch arch);
+
+} // namespace gpumc::prog
+
+#endif // GPUMC_PROGRAM_TYPES_HPP

@@ -1,0 +1,16 @@
+#include "smt/backend.hpp"
+
+#include "smt/builtin_backend.hpp"
+#include "smt/z3_backend.hpp"
+
+namespace gpumc::smt {
+
+std::unique_ptr<Backend>
+makeBackend(BackendKind kind)
+{
+    if (kind == BackendKind::Z3)
+        return std::make_unique<Z3Backend>();
+    return std::make_unique<BuiltinBackend>();
+}
+
+} // namespace gpumc::smt

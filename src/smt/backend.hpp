@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Solver-independent backend interface. The encoder produces plain CNF
+ * through this interface, so any backend that can handle clauses over
+ * boolean variables plugs in. Two implementations ship with gpumc:
+ *  - BuiltinBackend: the from-scratch CDCL solver in smt/sat.
+ *  - Z3Backend: the native Z3 C++ API.
+ */
+
+#ifndef GPUMC_SMT_BACKEND_HPP
+#define GPUMC_SMT_BACKEND_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gpumc::smt {
+
+/**
+ * Backend-neutral literal: a non-zero integer; negative values are the
+ * negation of the corresponding positive literal (DIMACS convention).
+ */
+using Lit = int32_t;
+
+enum class SolveResult { Sat, Unsat, Unknown };
+
+/** Truth value of a literal in a model. */
+enum class TruthValue { False, True, Unknown };
+
+class Backend {
+  public:
+    virtual ~Backend() = default;
+
+    /** Allocate a fresh variable; returns its positive literal. */
+    virtual Lit newVar() = 0;
+
+    /** Assert a clause (disjunction of literals). */
+    virtual void addClause(const std::vector<Lit> &clause) = 0;
+
+    /** Solve the asserted clauses under optional assumptions. */
+    virtual SolveResult solve(const std::vector<Lit> &assumptions = {}) = 0;
+
+    /**
+     * Best-effort resource cap for subsequent solve() calls; when
+     * exhausted, solve returns Unknown. 0 disables the limit.
+     */
+    virtual void setTimeLimitMs(int64_t) {}
+
+    /** Model value of @p lit after a Sat result. */
+    virtual TruthValue modelValue(Lit lit) const = 0;
+
+    /** Number of variables allocated so far. */
+    virtual int64_t numVars() const = 0;
+
+    /** Number of clauses asserted so far. */
+    virtual int64_t numClauses() const = 0;
+
+    /** Human-readable backend name for reports. */
+    virtual std::string name() const = 0;
+};
+
+/** Which backend a verification run should use. */
+enum class BackendKind { Z3, Builtin };
+
+/** Factory. */
+std::unique_ptr<Backend> makeBackend(BackendKind kind);
+
+} // namespace gpumc::smt
+
+#endif // GPUMC_SMT_BACKEND_HPP

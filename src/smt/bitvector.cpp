@@ -1,0 +1,132 @@
+#include "smt/bitvector.hpp"
+
+#include "support/diagnostics.hpp"
+
+namespace gpumc::smt {
+
+BitVec
+BitVecBuilder::constant(uint64_t value, int width)
+{
+    BitVec out;
+    out.bits.reserve(width);
+    for (int i = 0; i < width; ++i) {
+        bool bit = (i < 64) && ((value >> i) & 1);
+        out.bits.push_back(bit ? c_.trueLit() : c_.falseLit());
+    }
+    return out;
+}
+
+BitVec
+BitVecBuilder::fresh(int width)
+{
+    BitVec out;
+    out.bits.reserve(width);
+    for (int i = 0; i < width; ++i)
+        out.bits.push_back(c_.freshVar());
+    return out;
+}
+
+BitVec
+BitVecBuilder::add(const BitVec &a, const BitVec &b)
+{
+    GPUMC_ASSERT(a.width() == b.width(), "bit-vector width mismatch");
+    BitVec out;
+    out.bits.reserve(a.width());
+    Lit carry = c_.falseLit();
+    for (int i = 0; i < a.width(); ++i) {
+        Lit ai = a.bits[i], bi = b.bits[i];
+        Lit sum = c_.mkXor(c_.mkXor(ai, bi), carry);
+        Lit nextCarry = c_.mkOr(c_.mkAnd(ai, bi),
+                                c_.mkAnd(carry, c_.mkXor(ai, bi)));
+        out.bits.push_back(sum);
+        carry = nextCarry;
+    }
+    return out;
+}
+
+BitVec
+BitVecBuilder::sub(const BitVec &a, const BitVec &b)
+{
+    // a - b == a + ~b + 1
+    GPUMC_ASSERT(a.width() == b.width(), "bit-vector width mismatch");
+    BitVec out;
+    out.bits.reserve(a.width());
+    Lit carry = c_.trueLit();
+    for (int i = 0; i < a.width(); ++i) {
+        Lit ai = a.bits[i], bi = c_.mkNot(b.bits[i]);
+        Lit sum = c_.mkXor(c_.mkXor(ai, bi), carry);
+        Lit nextCarry = c_.mkOr(c_.mkAnd(ai, bi),
+                                c_.mkAnd(carry, c_.mkXor(ai, bi)));
+        out.bits.push_back(sum);
+        carry = nextCarry;
+    }
+    return out;
+}
+
+BitVec
+BitVecBuilder::ite(Lit cond, const BitVec &t, const BitVec &e)
+{
+    GPUMC_ASSERT(t.width() == e.width(), "bit-vector width mismatch");
+    BitVec out;
+    out.bits.reserve(t.width());
+    for (int i = 0; i < t.width(); ++i)
+        out.bits.push_back(c_.mkIte(cond, t.bits[i], e.bits[i]));
+    return out;
+}
+
+Lit
+BitVecBuilder::eq(const BitVec &a, const BitVec &b)
+{
+    GPUMC_ASSERT(a.width() == b.width(), "bit-vector width mismatch");
+    std::vector<Lit> bits;
+    bits.reserve(a.width());
+    for (int i = 0; i < a.width(); ++i)
+        bits.push_back(c_.mkEquiv(a.bits[i], b.bits[i]));
+    return c_.mkAnd(bits);
+}
+
+Lit
+BitVecBuilder::ult(const BitVec &a, const BitVec &b)
+{
+    GPUMC_ASSERT(a.width() == b.width(), "bit-vector width mismatch");
+    // Ripple comparison from LSB: lt_i = (~a_i & b_i) | (a_i == b_i) & lt_{i-1}
+    Lit lt = c_.falseLit();
+    for (int i = 0; i < a.width(); ++i) {
+        Lit ai = a.bits[i], bi = b.bits[i];
+        Lit here = c_.mkAnd(c_.mkNot(ai), bi);
+        Lit same = c_.mkEquiv(ai, bi);
+        lt = c_.mkOr(here, c_.mkAnd(same, lt));
+    }
+    return lt;
+}
+
+Lit
+BitVecBuilder::ule(const BitVec &a, const BitVec &b)
+{
+    return c_.mkNot(ult(b, a));
+}
+
+Lit
+BitVecBuilder::eqConst(const BitVec &a, uint64_t value)
+{
+    std::vector<Lit> bits;
+    bits.reserve(a.width());
+    for (int i = 0; i < a.width(); ++i) {
+        bool bit = (i < 64) && ((value >> i) & 1);
+        bits.push_back(bit ? a.bits[i] : c_.mkNot(a.bits[i]));
+    }
+    return c_.mkAnd(bits);
+}
+
+uint64_t
+BitVecBuilder::modelValue(const BitVec &a) const
+{
+    uint64_t out = 0;
+    for (int i = 0; i < a.width() && i < 64; ++i) {
+        if (c_.modelTrue(a.bits[i]))
+            out |= (uint64_t{1} << i);
+    }
+    return out;
+}
+
+} // namespace gpumc::smt

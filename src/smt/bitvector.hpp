@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Fixed-width bit-vector terms built on top of the boolean Circuit.
+ *
+ * gpumc encodes register/memory values and order clocks as bit-vectors so
+ * the same encoding runs on both the Z3 and the built-in CDCL backend.
+ * Bit 0 is the least significant bit.
+ */
+
+#ifndef GPUMC_SMT_BITVECTOR_HPP
+#define GPUMC_SMT_BITVECTOR_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "smt/circuit.hpp"
+
+namespace gpumc::smt {
+
+/** A bit-vector term: one literal per bit, LSB first. */
+struct BitVec {
+    std::vector<Lit> bits;
+
+    int width() const { return static_cast<int>(bits.size()); }
+};
+
+class BitVecBuilder {
+  public:
+    explicit BitVecBuilder(Circuit &circuit) : c_(circuit) {}
+
+    Circuit &circuit() { return c_; }
+
+    /** A constant of the given width (truncating the value). */
+    BitVec constant(uint64_t value, int width);
+
+    /** A fresh unconstrained variable of the given width. */
+    BitVec fresh(int width);
+
+    /** a + b (modular). Widths must match. */
+    BitVec add(const BitVec &a, const BitVec &b);
+    /** a - b (modular). */
+    BitVec sub(const BitVec &a, const BitVec &b);
+
+    /** Bitwise select: c ? t : e. */
+    BitVec ite(Lit cond, const BitVec &t, const BitVec &e);
+
+    /** Equality as a literal. */
+    Lit eq(const BitVec &a, const BitVec &b);
+    /** Unsigned less-than as a literal. */
+    Lit ult(const BitVec &a, const BitVec &b);
+    /** Unsigned less-or-equal as a literal. */
+    Lit ule(const BitVec &a, const BitVec &b);
+
+    /** Equality against a constant. */
+    Lit eqConst(const BitVec &a, uint64_t value);
+
+    /** Decode a model value after a Sat solve. */
+    uint64_t modelValue(const BitVec &a) const;
+
+  private:
+    Circuit &c_;
+};
+
+} // namespace gpumc::smt
+
+#endif // GPUMC_SMT_BITVECTOR_HPP

@@ -1,0 +1,59 @@
+#include "smt/builtin_backend.hpp"
+
+#include "support/diagnostics.hpp"
+
+namespace gpumc::smt {
+
+Lit
+BuiltinBackend::newVar()
+{
+    return solver_.newVar() + 1;
+}
+
+void
+BuiltinBackend::addClause(const std::vector<Lit> &clause)
+{
+    std::vector<sat::Lit> lits;
+    lits.reserve(clause.size());
+    for (Lit l : clause) {
+        GPUMC_ASSERT(l != 0, "invalid zero literal");
+        lits.push_back(toSat(l));
+    }
+    numClauses_++;
+    if (!solver_.addClause(std::move(lits)))
+        unsat_ = true;
+}
+
+SolveResult
+BuiltinBackend::solve(const std::vector<Lit> &assumptions)
+{
+    if (unsat_)
+        return SolveResult::Unsat;
+    std::vector<sat::Lit> assumps;
+    assumps.reserve(assumptions.size());
+    for (Lit l : assumptions)
+        assumps.push_back(toSat(l));
+    switch (solver_.solveLimited(assumps)) {
+      case sat::Solver::Status::Sat:
+        return SolveResult::Sat;
+      case sat::Solver::Status::Unsat:
+        return SolveResult::Unsat;
+      default:
+        return SolveResult::Unknown;
+    }
+}
+
+TruthValue
+BuiltinBackend::modelValue(Lit lit) const
+{
+    switch (solver_.modelValue(toSat(lit))) {
+      case sat::LBool::True:
+        return TruthValue::True;
+      case sat::LBool::False:
+        return TruthValue::False;
+      default:
+        return TruthValue::Unknown;
+    }
+}
+
+} // namespace gpumc::smt

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Backend adapter over the built-in CDCL solver.
+ */
+
+#ifndef GPUMC_SMT_BUILTIN_BACKEND_HPP
+#define GPUMC_SMT_BUILTIN_BACKEND_HPP
+
+#include "smt/backend.hpp"
+#include "smt/sat/solver.hpp"
+
+namespace gpumc::smt {
+
+class BuiltinBackend : public Backend {
+  public:
+    Lit newVar() override;
+    void addClause(const std::vector<Lit> &clause) override;
+    SolveResult solve(const std::vector<Lit> &assumptions) override;
+    void setTimeLimitMs(int64_t ms) override
+    {
+        solver_.setTimeLimitMs(ms);
+    }
+    TruthValue modelValue(Lit lit) const override;
+    int64_t numVars() const override { return solver_.numVars(); }
+    int64_t numClauses() const override { return numClauses_; }
+    std::string name() const override { return "builtin-cdcl"; }
+
+    const sat::SolverStats &stats() const { return solver_.stats(); }
+
+  private:
+    static sat::Lit toSat(Lit l)
+    {
+        return sat::mkLit(std::abs(l) - 1, l < 0);
+    }
+
+    sat::Solver solver_;
+    int64_t numClauses_ = 0;
+    bool unsat_ = false;
+};
+
+} // namespace gpumc::smt
+
+#endif // GPUMC_SMT_BUILTIN_BACKEND_HPP

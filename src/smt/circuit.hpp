@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Boolean circuit builder with Tseitin translation into a Backend.
+ *
+ * All gates are structurally hashed, so re-building the same sub-formula
+ * returns the same literal instead of duplicating clauses. Constant
+ * literals are folded eagerly.
+ */
+
+#ifndef GPUMC_SMT_CIRCUIT_HPP
+#define GPUMC_SMT_CIRCUIT_HPP
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "smt/backend.hpp"
+
+namespace gpumc::smt {
+
+class Circuit {
+  public:
+    explicit Circuit(Backend &backend);
+
+    Backend &backend() { return backend_; }
+
+    /** The constant-true literal. */
+    Lit trueLit() const { return trueLit_; }
+    /** The constant-false literal. */
+    Lit falseLit() const { return -trueLit_; }
+
+    bool isTrue(Lit l) const { return l == trueLit_; }
+    bool isFalse(Lit l) const { return l == -trueLit_; }
+
+    /** Fresh unconstrained variable. */
+    Lit freshVar() { return backend_.newVar(); }
+
+    Lit mkNot(Lit a) const { return -a; }
+    Lit mkAnd(Lit a, Lit b);
+    Lit mkOr(Lit a, Lit b);
+    Lit mkAnd(std::span<const Lit> lits);
+    Lit mkOr(std::span<const Lit> lits);
+    Lit mkAnd(std::initializer_list<Lit> lits)
+    {
+        return mkAnd(std::span<const Lit>(lits.begin(), lits.size()));
+    }
+    Lit mkOr(std::initializer_list<Lit> lits)
+    {
+        return mkOr(std::span<const Lit>(lits.begin(), lits.size()));
+    }
+    Lit mkXor(Lit a, Lit b);
+    Lit mkEquiv(Lit a, Lit b) { return mkNot(mkXor(a, b)); }
+    Lit mkImplies(Lit a, Lit b) { return mkOr(-a, b); }
+    /** if c then t else e. */
+    Lit mkIte(Lit c, Lit t, Lit e);
+
+    /** Assert a literal at the top level. */
+    void assertLit(Lit l) { backend_.addClause({l}); }
+    /** Assert a clause at the top level. */
+    void assertClause(const std::vector<Lit> &clause)
+    {
+        backend_.addClause(clause);
+    }
+    /** Assert a implies b. */
+    void assertImplies(Lit a, Lit b) { backend_.addClause({-a, b}); }
+
+    /** Assert that at most one of the literals is true (pairwise). */
+    void assertAtMostOne(std::span<const Lit> lits);
+    /** Assert that exactly one of the literals is true. */
+    void assertExactlyOne(std::span<const Lit> lits);
+
+    /** Model value of a literal after a Sat solve. */
+    bool modelTrue(Lit l) const
+    {
+        return backend_.modelValue(l) == TruthValue::True;
+    }
+
+  private:
+    struct PairKey {
+        int64_t a, b;
+        bool operator==(const PairKey &o) const
+        {
+            return a == o.a && b == o.b;
+        }
+    };
+    struct PairKeyHash {
+        size_t operator()(const PairKey &k) const
+        {
+            return std::hash<int64_t>()(k.a * 2654435769LL ^ k.b);
+        }
+    };
+
+    Backend &backend_;
+    Lit trueLit_;
+    std::unordered_map<PairKey, Lit, PairKeyHash> andCache_;
+    std::unordered_map<PairKey, Lit, PairKeyHash> xorCache_;
+};
+
+} // namespace gpumc::smt
+
+#endif // GPUMC_SMT_CIRCUIT_HPP

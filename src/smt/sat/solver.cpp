@@ -1,0 +1,570 @@
+#include "smt/sat/solver.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "support/diagnostics.hpp"
+
+namespace gpumc::smt::sat {
+
+namespace {
+
+/** Finite-state Luby sequence generator (Knuth's formulation). */
+double
+luby(double y, int x)
+{
+    int size, seq;
+    for (size = 1, seq = 0; size < x + 1; seq++, size = 2 * size + 1) {}
+    while (size - 1 != x) {
+        size = (size - 1) >> 1;
+        seq--;
+        x = x % size;
+    }
+    return std::pow(y, seq);
+}
+
+constexpr double kVarDecay = 0.95;
+constexpr double kClaDecay = 0.999;
+constexpr double kRescaleLimit = 1e100;
+
+} // namespace
+
+Solver::Solver() = default;
+Solver::~Solver() = default;
+
+Var
+Solver::newVar()
+{
+    Var v = static_cast<Var>(assigns_.size());
+    assigns_.push_back(LBool::Undef);
+    polarity_.push_back(true); // default phase: false (sign = true)
+    level_.push_back(0);
+    reason_.push_back(nullptr);
+    activity_.push_back(0.0);
+    seen_.push_back(0);
+    heapIndex_.push_back(-1);
+    watches_.emplace_back();
+    watches_.emplace_back();
+    heapInsert(v);
+    return v;
+}
+
+bool
+Solver::addClause(std::vector<Lit> lits)
+{
+    GPUMC_ASSERT(decisionLevel() == 0, "clauses must be added at level 0");
+    if (!ok_)
+        return false;
+
+    // Normalize: sort, remove duplicates, detect tautologies, drop
+    // root-level false literals, and succeed early on true literals.
+    std::sort(lits.begin(), lits.end());
+    std::vector<Lit> out;
+    Lit prev = kUndefLit;
+    for (Lit l : lits) {
+        GPUMC_ASSERT(l.var() >= 0 && l.var() < numVars(),
+                     "literal references unknown variable");
+        if (value(l) == LBool::True || l == ~prev)
+            return true; // satisfied or tautological
+        if (value(l) != LBool::False && l != prev)
+            out.push_back(l);
+        prev = l;
+    }
+
+    if (out.empty()) {
+        ok_ = false;
+        return false;
+    }
+    if (out.size() == 1) {
+        if (!enqueue(out[0], nullptr)) {
+            ok_ = false;
+            return false;
+        }
+        ok_ = (propagate() == nullptr);
+        return ok_;
+    }
+
+    auto clause = std::make_unique<Clause>();
+    clause->lits = std::move(out);
+    attachClause(clause.get());
+    clauses_.push_back(std::move(clause));
+    return true;
+}
+
+void
+Solver::attachClause(Clause *c)
+{
+    GPUMC_ASSERT(c->lits.size() >= 2);
+    watches_[(~c->lits[0]).index()].push_back({c, c->lits[1]});
+    watches_[(~c->lits[1]).index()].push_back({c, c->lits[0]});
+}
+
+void
+Solver::detachClause(Clause *c)
+{
+    for (Lit w : {c->lits[0], c->lits[1]}) {
+        auto &ws = watches_[(~w).index()];
+        for (size_t i = 0; i < ws.size(); ++i) {
+            if (ws[i].clause == c) {
+                ws[i] = ws.back();
+                ws.pop_back();
+                break;
+            }
+        }
+    }
+}
+
+bool
+Solver::enqueue(Lit l, Clause *reason)
+{
+    if (value(l) != LBool::Undef)
+        return value(l) == LBool::True;
+    assigns_[l.var()] = l.sign() ? LBool::False : LBool::True;
+    level_[l.var()] = decisionLevel();
+    reason_[l.var()] = reason;
+    trail_.push_back(l);
+    return true;
+}
+
+Solver::Clause *
+Solver::propagate()
+{
+    while (qhead_ < trail_.size()) {
+        Lit p = trail_[qhead_++];
+        stats_.propagations++;
+        auto &ws = watches_[p.index()];
+        size_t i = 0, j = 0;
+        while (i < ws.size()) {
+            Watcher w = ws[i];
+            if (value(w.blocker) == LBool::True) {
+                ws[j++] = ws[i++];
+                continue;
+            }
+            Clause *c = w.clause;
+            auto &lits = c->lits;
+            // Make sure the false literal is lits[1].
+            Lit falseLit = ~p;
+            if (lits[0] == falseLit)
+                std::swap(lits[0], lits[1]);
+            GPUMC_ASSERT(lits[1] == falseLit);
+            ++i;
+
+            Lit first = lits[0];
+            if (first != w.blocker && value(first) == LBool::True) {
+                ws[j++] = {c, first};
+                continue;
+            }
+
+            // Look for a new literal to watch.
+            bool foundWatch = false;
+            for (size_t k = 2; k < lits.size(); ++k) {
+                if (value(lits[k]) != LBool::False) {
+                    std::swap(lits[1], lits[k]);
+                    watches_[(~lits[1]).index()].push_back({c, first});
+                    foundWatch = true;
+                    break;
+                }
+            }
+            if (foundWatch)
+                continue;
+
+            // Clause is unit or conflicting.
+            ws[j++] = {c, first};
+            if (value(first) == LBool::False) {
+                // Conflict: copy remaining watchers and bail out.
+                while (i < ws.size())
+                    ws[j++] = ws[i++];
+                ws.resize(j);
+                qhead_ = trail_.size();
+                return c;
+            }
+            enqueue(first, c);
+        }
+        ws.resize(j);
+    }
+    return nullptr;
+}
+
+void
+Solver::analyze(Clause *conflict, std::vector<Lit> &outLearnt, int &outBtLevel)
+{
+    outLearnt.clear();
+    outLearnt.push_back(kUndefLit); // slot for the asserting literal
+
+    int pathCount = 0;
+    Lit p = kUndefLit;
+    size_t index = trail_.size();
+
+    Clause *reason = conflict;
+    do {
+        GPUMC_ASSERT(reason != nullptr, "no reason during conflict analysis");
+        if (reason->learnt)
+            claBumpActivity(reason);
+        size_t start = (p == kUndefLit) ? 0 : 1;
+        for (size_t k = start; k < reason->lits.size(); ++k) {
+            Lit q = reason->lits[k];
+            Var v = q.var();
+            if (!seen_[v] && level_[v] > 0) {
+                seen_[v] = 1;
+                varBumpActivity(v);
+                if (level_[v] >= decisionLevel())
+                    pathCount++;
+                else
+                    outLearnt.push_back(q);
+            }
+        }
+        // Select the next literal on the trail to resolve on.
+        while (!seen_[trail_[index - 1].var()])
+            index--;
+        p = trail_[--index];
+        reason = reason_[p.var()];
+        seen_[p.var()] = 0;
+        pathCount--;
+    } while (pathCount > 0);
+    outLearnt[0] = ~p;
+
+    // Simple clause minimization: drop literals implied by the rest via
+    // their reason clause at the same level set.
+    auto redundant = [&](Lit l) {
+        Clause *r = reason_[l.var()];
+        if (r == nullptr)
+            return false;
+        for (size_t k = 1; k < r->lits.size(); ++k) {
+            Lit q = r->lits[k];
+            if (!seen_[q.var()] && level_[q.var()] > 0)
+                return false;
+        }
+        return true;
+    };
+    // Remember every var of the pre-minimization clause: removed
+    // literals must have their seen_ flags cleared too.
+    std::vector<Var> marked;
+    marked.reserve(outLearnt.size());
+    for (Lit l : outLearnt)
+        marked.push_back(l.var());
+
+    size_t jj = 1;
+    for (size_t ii = 1; ii < outLearnt.size(); ++ii) {
+        if (!redundant(outLearnt[ii]))
+            outLearnt[jj++] = outLearnt[ii];
+    }
+    outLearnt.resize(jj);
+
+    // Compute the backtrack level: the second-highest level in the clause.
+    if (outLearnt.size() == 1) {
+        outBtLevel = 0;
+    } else {
+        size_t maxIdx = 1;
+        for (size_t k = 2; k < outLearnt.size(); ++k) {
+            if (level_[outLearnt[k].var()] > level_[outLearnt[maxIdx].var()])
+                maxIdx = k;
+        }
+        std::swap(outLearnt[1], outLearnt[maxIdx]);
+        outBtLevel = level_[outLearnt[1].var()];
+    }
+
+    for (Var v : marked)
+        seen_[v] = 0;
+}
+
+void
+Solver::cancelUntil(int levelTo)
+{
+    if (decisionLevel() <= levelTo)
+        return;
+    int keep = trailLim_[levelTo];
+    for (int i = static_cast<int>(trail_.size()) - 1; i >= keep; --i) {
+        Var v = trail_[i].var();
+        polarity_[v] = trail_[i].sign();
+        assigns_[v] = LBool::Undef;
+        reason_[v] = nullptr;
+        if (heapIndex_[v] < 0)
+            heapInsert(v);
+    }
+    trail_.resize(keep);
+    trailLim_.resize(levelTo);
+    qhead_ = trail_.size();
+}
+
+Lit
+Solver::pickBranchLit()
+{
+    while (!heapEmpty()) {
+        Var v = heapPop();
+        if (value(v) == LBool::Undef)
+            return mkLit(v, polarity_[v]);
+    }
+    return kUndefLit;
+}
+
+void
+Solver::varBumpActivity(Var v)
+{
+    activity_[v] += varInc_;
+    if (activity_[v] > kRescaleLimit) {
+        for (double &a : activity_)
+            a *= 1e-100;
+        varInc_ *= 1e-100;
+    }
+    if (heapIndex_[v] >= 0)
+        heapUpdate(v);
+}
+
+void
+Solver::varDecayActivity()
+{
+    varInc_ /= kVarDecay;
+}
+
+void
+Solver::claBumpActivity(Clause *c)
+{
+    c->activity += claInc_;
+    if (c->activity > kRescaleLimit) {
+        for (auto &cl : learnts_)
+            cl->activity *= 1e-100;
+        claInc_ *= 1e-100;
+    }
+}
+
+void
+Solver::claDecayActivity()
+{
+    claInc_ /= kClaDecay;
+}
+
+void
+Solver::reduceDB()
+{
+    auto locked = [&](Clause *c) {
+        return reason_[c->lits[0].var()] == c &&
+               value(c->lits[0]) == LBool::True;
+    };
+    std::sort(learnts_.begin(), learnts_.end(),
+              [](const auto &a, const auto &b) {
+                  return a->activity < b->activity;
+              });
+    size_t target = learnts_.size() / 2;
+    size_t kept = 0;
+    std::vector<std::unique_ptr<Clause>> survivors;
+    survivors.reserve(learnts_.size());
+    for (auto &c : learnts_) {
+        bool drop = kept < target && c->lits.size() > 2 && !locked(c.get());
+        if (drop) {
+            detachClause(c.get());
+            stats_.removedClauses++;
+            kept++; // counts dropped clauses toward the target
+        } else {
+            survivors.push_back(std::move(c));
+        }
+    }
+    learnts_ = std::move(survivors);
+}
+
+bool
+Solver::search(int64_t conflictBudget, const std::vector<Lit> &assumptions,
+               bool &doneOut)
+{
+    doneOut = false;
+    int64_t conflictCount = 0;
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(timeLimitMs_);
+
+    while (true) {
+        Clause *conflict = propagate();
+        if (conflict != nullptr) {
+            stats_.conflicts++;
+            conflictCount++;
+            if (decisionLevel() == 0) {
+                doneOut = true;
+                ok_ = false;
+                return false;
+            }
+            std::vector<Lit> learnt;
+            int btLevel = 0;
+            analyze(conflict, learnt, btLevel);
+            cancelUntil(btLevel);
+            if (learnt.size() == 1) {
+                enqueue(learnt[0], nullptr);
+            } else {
+                auto clause = std::make_unique<Clause>();
+                clause->learnt = true;
+                clause->lits = std::move(learnt);
+                claBumpActivity(clause.get());
+                attachClause(clause.get());
+                enqueue(clause->lits[0], clause.get());
+                learnts_.push_back(std::move(clause));
+                stats_.learnedClauses++;
+            }
+            varDecayActivity();
+            claDecayActivity();
+            continue;
+        }
+
+        if (conflictBudget >= 0 && conflictCount >= conflictBudget) {
+            cancelUntil(0);
+            return false; // restart (doneOut stays false)
+        }
+        // Honour the wall-clock budget during long searches.
+        if (timeLimitMs_ > 0 && (conflictCount & 63) == 0 &&
+            std::chrono::steady_clock::now() > deadline) {
+            cancelUntil(0);
+            return false; // solveLimited re-checks and reports Unknown
+        }
+        if (learnts_.size() >
+            clauses_.size() * 2 + 4000 + 100 * trailLim_.size()) {
+            reduceDB();
+        }
+
+        // Respect assumptions before free decisions.
+        Lit next = kUndefLit;
+        while (decisionLevel() < static_cast<int>(assumptions.size())) {
+            Lit p = assumptions[decisionLevel()];
+            if (value(p) == LBool::True) {
+                trailLim_.push_back(static_cast<int>(trail_.size()));
+            } else if (value(p) == LBool::False) {
+                doneOut = true;
+                return false; // UNSAT under assumptions
+            } else {
+                next = p;
+                break;
+            }
+        }
+
+        if (next == kUndefLit) {
+            next = pickBranchLit();
+            if (next == kUndefLit) {
+                // All variables assigned: model found.
+                model_.assign(assigns_.begin(), assigns_.end());
+                doneOut = true;
+                return true;
+            }
+            stats_.decisions++;
+        }
+        trailLim_.push_back(static_cast<int>(trail_.size()));
+        enqueue(next, nullptr);
+    }
+}
+
+bool
+Solver::solve(const std::vector<Lit> &assumptions)
+{
+    int64_t saved = timeLimitMs_;
+    timeLimitMs_ = 0; // unlimited
+    Status status = solveLimited(assumptions);
+    timeLimitMs_ = saved;
+    GPUMC_ASSERT(status != Status::Unknown);
+    return status == Status::Sat;
+}
+
+Solver::Status
+Solver::solveLimited(const std::vector<Lit> &assumptions)
+{
+    if (!ok_)
+        return Status::Unsat;
+    model_.clear();
+
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(timeLimitMs_);
+    bool done = false;
+    bool result = false;
+    int restarts = 0;
+    while (!done) {
+        if (timeLimitMs_ > 0 &&
+            std::chrono::steady_clock::now() > deadline) {
+            cancelUntil(0);
+            return Status::Unknown;
+        }
+        int64_t budget = static_cast<int64_t>(luby(2.0, restarts) * 100);
+        result = search(budget, assumptions, done);
+        if (!done) {
+            restarts++;
+            stats_.restarts++;
+        }
+    }
+    cancelUntil(0);
+    return result ? Status::Sat : Status::Unsat;
+}
+
+LBool
+Solver::modelValue(Lit l) const
+{
+    if (l.var() < 0 || l.var() >= static_cast<int>(model_.size()))
+        return LBool::Undef;
+    return model_[l.var()] ^ l.sign();
+}
+
+// --- indexed binary max-heap on variable activity -----------------------
+
+void
+Solver::heapInsert(Var v)
+{
+    GPUMC_ASSERT(heapIndex_[v] < 0);
+    heapIndex_[v] = static_cast<int>(heap_.size());
+    heap_.push_back(v);
+    heapPercolateUp(heapIndex_[v]);
+}
+
+void
+Solver::heapUpdate(Var v)
+{
+    GPUMC_ASSERT(heapIndex_[v] >= 0);
+    heapPercolateUp(heapIndex_[v]);
+}
+
+Var
+Solver::heapPop()
+{
+    GPUMC_ASSERT(!heap_.empty());
+    Var top = heap_[0];
+    heapIndex_[top] = -1;
+    if (heap_.size() > 1) {
+        heap_[0] = heap_.back();
+        heapIndex_[heap_[0]] = 0;
+        heap_.pop_back();
+        heapPercolateDown(0);
+    } else {
+        heap_.pop_back();
+    }
+    return top;
+}
+
+void
+Solver::heapPercolateUp(int i)
+{
+    Var v = heap_[i];
+    while (i > 0) {
+        int parent = (i - 1) >> 1;
+        if (!heapLess(v, heap_[parent]))
+            break;
+        heap_[i] = heap_[parent];
+        heapIndex_[heap_[i]] = i;
+        i = parent;
+    }
+    heap_[i] = v;
+    heapIndex_[v] = i;
+}
+
+void
+Solver::heapPercolateDown(int i)
+{
+    Var v = heap_[i];
+    int n = static_cast<int>(heap_.size());
+    while (true) {
+        int child = 2 * i + 1;
+        if (child >= n)
+            break;
+        if (child + 1 < n && heapLess(heap_[child + 1], heap_[child]))
+            child++;
+        if (!heapLess(heap_[child], v))
+            break;
+        heap_[i] = heap_[child];
+        heapIndex_[heap_[i]] = i;
+        i = child;
+    }
+    heap_[i] = v;
+    heapIndex_[v] = i;
+}
+
+} // namespace gpumc::smt::sat

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * A from-scratch CDCL SAT solver: two-watched-literal propagation,
+ * first-UIP clause learning, VSIDS decision heuristic with an indexed
+ * heap, phase saving, Luby restarts and activity-based learned-clause
+ * database reduction.
+ *
+ * This is the solver behind gpumc's built-in backend; the encoder can
+ * alternatively target Z3 (see smt/z3_backend.hpp). Keeping a native
+ * solver makes the whole pipeline self-contained and enables the
+ * solver-ablation benchmark.
+ */
+
+#ifndef GPUMC_SMT_SAT_SOLVER_HPP
+#define GPUMC_SMT_SAT_SOLVER_HPP
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "smt/sat/types.hpp"
+
+namespace gpumc::smt::sat {
+
+/** Aggregate solving statistics. */
+struct SolverStats {
+    uint64_t decisions = 0;
+    uint64_t propagations = 0;
+    uint64_t conflicts = 0;
+    uint64_t restarts = 0;
+    uint64_t learnedClauses = 0;
+    uint64_t removedClauses = 0;
+};
+
+class Solver {
+  public:
+    Solver();
+    ~Solver();
+
+    Solver(const Solver &) = delete;
+    Solver &operator=(const Solver &) = delete;
+
+    /** Create a fresh variable and return its index. */
+    Var newVar();
+
+    int numVars() const { return static_cast<int>(assigns_.size()); }
+
+    /**
+     * Add a clause. Returns false if the solver becomes trivially
+     * unsatisfiable (empty clause, or a root-level conflict).
+     */
+    bool addClause(std::vector<Lit> lits);
+
+    enum class Status { Sat, Unsat, Unknown };
+
+    /**
+     * Solve under the given assumptions.
+     * @retval true satisfiable; the model is queryable via modelValue.
+     * @retval false unsatisfiable under the assumptions.
+     */
+    bool solve(const std::vector<Lit> &assumptions = {});
+
+    /**
+     * Like solve(), but respects the wall-clock limit set with
+     * setTimeLimitMs and reports Unknown when it is exhausted.
+     */
+    Status solveLimited(const std::vector<Lit> &assumptions = {});
+
+    /** Wall-clock budget per solveLimited call; 0 disables. */
+    void setTimeLimitMs(int64_t ms) { timeLimitMs_ = ms; }
+
+    /** Value of a literal in the last model (solve() returned true). */
+    LBool modelValue(Lit l) const;
+
+    const SolverStats &stats() const { return stats_; }
+
+    /** True if addClause has already derived root-level unsatisfiability. */
+    bool inConflict() const { return !ok_; }
+
+  private:
+    struct Clause {
+        double activity = 0.0;
+        bool learnt = false;
+        std::vector<Lit> lits;
+    };
+
+    struct Watcher {
+        Clause *clause = nullptr;
+        Lit blocker;
+    };
+
+    // --- internal machinery -------------------------------------------
+    LBool value(Lit l) const
+    {
+        return assigns_[l.var()] ^ l.sign();
+    }
+    LBool value(Var v) const { return assigns_[v]; }
+
+    int decisionLevel() const
+    {
+        return static_cast<int>(trailLim_.size());
+    }
+
+    void attachClause(Clause *c);
+    void detachClause(Clause *c);
+    bool enqueue(Lit l, Clause *reason);
+    Clause *propagate();
+    void analyze(Clause *conflict, std::vector<Lit> &outLearnt,
+                 int &outBtLevel);
+    void cancelUntil(int level);
+    Lit pickBranchLit();
+    void varBumpActivity(Var v);
+    void varDecayActivity();
+    void claBumpActivity(Clause *c);
+    void claDecayActivity();
+    void reduceDB();
+    bool search(int64_t conflictBudget, const std::vector<Lit> &assumptions,
+                bool &doneOut);
+
+    // --- heap for VSIDS ------------------------------------------------
+    void heapInsert(Var v);
+    void heapUpdate(Var v);
+    Var heapPop();
+    bool heapEmpty() const { return heap_.empty(); }
+    void heapPercolateUp(int i);
+    void heapPercolateDown(int i);
+    bool heapLess(Var a, Var b) const
+    {
+        return activity_[a] > activity_[b];
+    }
+
+    // --- state ----------------------------------------------------------
+    bool ok_ = true;
+    std::vector<LBool> assigns_;
+    std::vector<bool> polarity_; // saved phases
+    std::vector<int> level_;
+    std::vector<Clause *> reason_;
+    std::vector<Lit> trail_;
+    std::vector<int> trailLim_;
+    size_t qhead_ = 0;
+
+    std::vector<std::vector<Watcher>> watches_; // indexed by Lit::index()
+    std::vector<std::unique_ptr<Clause>> clauses_;
+    std::vector<std::unique_ptr<Clause>> learnts_;
+
+    std::vector<double> activity_;
+    double varInc_ = 1.0;
+    double claInc_ = 1.0;
+
+    std::vector<int> heap_;      // heap of vars
+    std::vector<int> heapIndex_; // var -> position in heap_, or -1
+
+    std::vector<uint8_t> seen_;
+    std::vector<LBool> model_;
+
+    int64_t timeLimitMs_ = 0;
+
+    SolverStats stats_;
+};
+
+} // namespace gpumc::smt::sat
+
+#endif // GPUMC_SMT_SAT_SOLVER_HPP

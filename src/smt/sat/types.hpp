@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Core types for the built-in CDCL SAT solver (MiniSat-style literal
+ * encoding).
+ */
+
+#ifndef GPUMC_SMT_SAT_TYPES_HPP
+#define GPUMC_SMT_SAT_TYPES_HPP
+
+#include <cstdint>
+
+namespace gpumc::smt::sat {
+
+/** Variable index, 0-based. */
+using Var = int32_t;
+
+constexpr Var kUndefVar = -1;
+
+/**
+ * Literal: variable plus sign, packed as 2*var+sign. sign==1 means the
+ * negated literal.
+ */
+struct Lit {
+    int32_t x = -2;
+
+    constexpr Lit() = default;
+    constexpr Lit(Var v, bool sign) : x(2 * v + (sign ? 1 : 0)) {}
+
+    constexpr Var var() const { return x >> 1; }
+    constexpr bool sign() const { return x & 1; }
+    constexpr int index() const { return x; }
+
+    constexpr Lit operator~() const
+    {
+        Lit l;
+        l.x = x ^ 1;
+        return l;
+    }
+
+    constexpr bool operator==(const Lit &o) const { return x == o.x; }
+    constexpr bool operator!=(const Lit &o) const { return x != o.x; }
+    constexpr bool operator<(const Lit &o) const { return x < o.x; }
+};
+
+constexpr Lit mkLit(Var v, bool sign = false) { return Lit(v, sign); }
+
+constexpr Lit kUndefLit{};
+
+/** Three-valued logic for assignments. */
+enum class LBool : uint8_t { False = 0, True = 1, Undef = 2 };
+
+constexpr LBool
+operator^(LBool b, bool flip)
+{
+    if (b == LBool::Undef)
+        return b;
+    return (b == LBool::True) != flip ? LBool::True : LBool::False;
+}
+
+} // namespace gpumc::smt::sat
+
+#endif // GPUMC_SMT_SAT_TYPES_HPP

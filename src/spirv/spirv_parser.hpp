@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Front-end for a subset of disassembled textual SPIR-V (the paper's
+ * third front-end, Section 6.1). A compute kernel is parsed once and
+ * instantiated for a thread grid ("X.Y" = X threads per workgroup, Y
+ * workgroups, Table 7), producing a gpumc program under the Vulkan
+ * model.
+ *
+ * Supported instructions: OpTypeInt/Bool/Pointer/Void/Function,
+ * OpConstant(True/False), OpVariable (StorageBuffer/Uniform ->
+ * storage class 0, Workgroup -> storage class 1, Function/Private ->
+ * promoted to registers), OpName, OpDecorate BuiltIn
+ * (LocalInvocationIndex, WorkgroupId, GlobalInvocationIndex),
+ * OpLoad/OpStore (with NonPrivatePointer / MakePointerAvailable /
+ * MakePointerVisible), OpAtomicLoad/Store/IAdd/Exchange/
+ * CompareExchange, OpControlBarrier, OpMemoryBarrier, OpIAdd, OpISub,
+ * OpCopyObject, OpIEqual/OpINotEqual, OpLabel, OpBranch,
+ * OpBranchConditional, OpSelectionMerge/OpLoopMerge (ignored),
+ * OpReturn/OpFunctionEnd.
+ *
+ * Directives in comments:
+ *   ; @grid 2.2            threads-per-workgroup . workgroups
+ *   ; @expect drf=racefree (same keys as litmus tests)
+ *   ; @assert exists (P0:r15 == 1)
+ */
+
+#ifndef GPUMC_SPIRV_SPIRV_PARSER_HPP
+#define GPUMC_SPIRV_SPIRV_PARSER_HPP
+
+#include <string>
+#include <string_view>
+
+#include "program/program.hpp"
+
+namespace gpumc::spirv {
+
+struct Grid {
+    int threadsPerWorkgroup = 1;
+    int workgroups = 1;
+
+    int totalThreads() const { return threadsPerWorkgroup * workgroups; }
+};
+
+/**
+ * Parse a SPIR-V kernel and instantiate it for the given grid. If
+ * @p gridOverride is null, the `@grid` directive is used (default 1.1).
+ * @throws FatalError on unsupported or malformed input.
+ */
+prog::Program loadSpirvProgram(std::string_view source,
+                               const Grid *gridOverride = nullptr);
+
+/** Load from a file (.spv.dis / .spvasm). */
+prog::Program loadSpirvFile(const std::string &path,
+                            const Grid *gridOverride = nullptr);
+
+} // namespace gpumc::spirv
+
+#endif // GPUMC_SPIRV_SPIRV_PARSER_HPP

@@ -1,0 +1,23 @@
+#include "support/diagnostics.hpp"
+
+#include <cstdio>
+
+namespace gpumc {
+
+std::string
+SourceLoc::str() const
+{
+    if (!known())
+        return "<unknown>";
+    return std::to_string(line) + ":" + std::to_string(column);
+}
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "gpumc panic at %s:%d: %s\n", file, line,
+                 msg.c_str());
+    std::abort();
+}
+
+} // namespace gpumc

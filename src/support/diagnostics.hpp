@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Error reporting primitives shared by all gpumc subsystems.
+ *
+ * Two failure categories (following the gem5 fatal/panic convention):
+ *  - FatalError: the *user's* fault (malformed litmus test, bad .cat
+ *    model, inconsistent options). Thrown, reported, recoverable by
+ *    fixing the input.
+ *  - GPUMC_ASSERT / panic(): a gpumc bug; aborts.
+ */
+
+#ifndef GPUMC_SUPPORT_DIAGNOSTICS_HPP
+#define GPUMC_SUPPORT_DIAGNOSTICS_HPP
+
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace gpumc {
+
+/**
+ * A position in an input file, 1-based. Line 0 means "unknown".
+ */
+struct SourceLoc {
+    int line = 0;
+    int column = 0;
+
+    bool known() const { return line > 0; }
+    std::string str() const;
+};
+
+/**
+ * Exception for user-caused errors (bad inputs, bad configuration).
+ */
+class FatalError : public std::runtime_error {
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg) {}
+
+    FatalError(const SourceLoc &loc, const std::string &msg)
+        : std::runtime_error(loc.known() ? loc.str() + ": " + msg : msg),
+          loc_(loc) {}
+
+    const SourceLoc &loc() const { return loc_; }
+
+  private:
+    SourceLoc loc_;
+};
+
+/** Concatenate any streamable arguments into a std::string. */
+template <typename... Args>
+std::string
+concatMessage(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+/** Throw a FatalError built from streamable arguments. */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    throw FatalError(concatMessage(std::forward<Args>(args)...));
+}
+
+/** Throw a FatalError carrying a source location. */
+template <typename... Args>
+[[noreturn]] void
+fatalAt(const SourceLoc &loc, Args &&...args)
+{
+    throw FatalError(loc, concatMessage(std::forward<Args>(args)...));
+}
+
+/** Report an internal invariant violation and abort. */
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+
+} // namespace gpumc
+
+/** Internal invariant check: failure means a gpumc bug, not a user error. */
+#define GPUMC_ASSERT(cond, ...)                                               \
+    do {                                                                      \
+        if (!(cond)) {                                                        \
+            ::gpumc::panicImpl(__FILE__, __LINE__,                            \
+                ::gpumc::concatMessage("assertion failed: " #cond " ",        \
+                                       ##__VA_ARGS__));                       \
+        }                                                                     \
+    } while (0)
+
+#define GPUMC_PANIC(...)                                                      \
+    ::gpumc::panicImpl(__FILE__, __LINE__,                                    \
+                       ::gpumc::concatMessage(__VA_ARGS__))
+
+#endif // GPUMC_SUPPORT_DIAGNOSTICS_HPP

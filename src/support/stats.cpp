@@ -1,0 +1,3 @@
+#include "support/stats.hpp"
+
+// Header-only for now; this translation unit anchors the library.

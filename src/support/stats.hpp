@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Lightweight timing and counter utilities for the verifier and the
+ * benchmark harnesses.
+ */
+
+#ifndef GPUMC_SUPPORT_STATS_HPP
+#define GPUMC_SUPPORT_STATS_HPP
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace gpumc {
+
+/** Wall-clock stopwatch with millisecond resolution accessors. */
+class Stopwatch {
+  public:
+    Stopwatch() { restart(); }
+
+    void restart() { start_ = Clock::now(); }
+
+    /** Elapsed time in milliseconds since construction/restart. */
+    double elapsedMs() const
+    {
+        return std::chrono::duration<double, std::milli>(
+                   Clock::now() - start_).count();
+    }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+/**
+ * Named counters collected during a verification run (number of events,
+ * SMT variables, clauses, ...). Useful for the encoding-size ablations.
+ */
+class StatsRegistry {
+  public:
+    void add(const std::string &name, int64_t delta)
+    {
+        counters_[name] += delta;
+    }
+
+    void set(const std::string &name, int64_t value)
+    {
+        counters_[name] = value;
+    }
+
+    int64_t get(const std::string &name) const
+    {
+        auto it = counters_.find(name);
+        return it == counters_.end() ? 0 : it->second;
+    }
+
+    const std::map<std::string, int64_t> &all() const { return counters_; }
+
+  private:
+    std::map<std::string, int64_t> counters_;
+};
+
+} // namespace gpumc
+
+#endif // GPUMC_SUPPORT_STATS_HPP

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Small string helpers used by the parsers and report writers.
+ */
+
+#ifndef GPUMC_SUPPORT_STRING_UTILS_HPP
+#define GPUMC_SUPPORT_STRING_UTILS_HPP
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gpumc {
+
+/** Split @p s on @p sep; empty fields are kept. */
+std::vector<std::string> split(std::string_view s, char sep);
+
+/** Split @p s on any run of whitespace; empty fields are dropped. */
+std::vector<std::string> splitWhitespace(std::string_view s);
+
+/** Strip leading and trailing whitespace. */
+std::string_view trim(std::string_view s);
+
+bool startsWith(std::string_view s, std::string_view prefix);
+bool endsWith(std::string_view s, std::string_view suffix);
+
+/** Join the items with @p sep between them. */
+std::string join(const std::vector<std::string> &items,
+                 std::string_view sep);
+
+/** Lower-case ASCII copy. */
+std::string toLower(std::string_view s);
+
+/** True if @p s is a non-empty decimal integer with optional leading '-'. */
+bool isInteger(std::string_view s);
+
+} // namespace gpumc
+
+#endif // GPUMC_SUPPORT_STRING_UTILS_HPP

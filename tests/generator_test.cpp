@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Tests for the litmus generators backing Table 5 and Fig. 15: suite
+ * shapes, known verdicts of selected generated tests, and the scaled
+ * pattern families.
+ */
+
+#include <gtest/gtest.h>
+
+#include "litmus/generator.hpp"
+#include "tests/test_util.hpp"
+
+namespace gpumc::test {
+namespace {
+
+using litmus::GeneratedTest;
+using litmus::ScaledPattern;
+
+const GeneratedTest *
+find(const std::vector<GeneratedTest> &suite, const std::string &name)
+{
+    for (const GeneratedTest &t : suite) {
+        if (t.name == name)
+            return &t;
+    }
+    return nullptr;
+}
+
+TEST(Generator, SuiteShapes)
+{
+    auto ptx60 = litmus::generatePatternSuite(prog::Arch::Ptx, false);
+    auto ptx75 = litmus::generatePatternSuite(prog::Arch::Ptx, true);
+    auto vulkan = litmus::generatePatternSuite(prog::Arch::Vulkan, false);
+    EXPECT_GT(ptx60.size(), 100u);
+    EXPECT_GT(ptx75.size(), ptx60.size()) << "proxy tests added";
+    EXPECT_GT(vulkan.size(), 100u);
+    for (const GeneratedTest &t : ptx60)
+        EXPECT_FALSE(t.usesProxies);
+    int proxies = 0;
+    for (const GeneratedTest &t : ptx75)
+        proxies += t.usesProxies ? 1 : 0;
+    EXPECT_GE(proxies, 5);
+
+    auto progress = litmus::generateProgressSuite(prog::Arch::Ptx);
+    EXPECT_GT(progress.size(), 30u);
+    for (const GeneratedTest &t : progress)
+        EXPECT_TRUE(t.isProgress);
+}
+
+TEST(Generator, KnownVerdictsHold)
+{
+    auto suite = litmus::generatePatternSuite(prog::Arch::Ptx, false);
+
+    struct Expectation {
+        const char *name;
+        bool holds;
+    } expectations[] = {
+        {"mp+plain+sys+split", true},
+        {"mp+relacq+sys+split", false},
+        {"mp+relonly+sys+split", true},  // acquire side missing
+        {"mp+acqonly+sys+split", true},  // release side missing
+        {"mp+relacq+cta+split", true},   // scope too small
+        {"sb+fencesc+sys+split", false},
+        {"sb+fence+sys+split", true},
+        {"corr+relacq+sys+split", false},
+        {"coww+plain+sys+split", true},  // weak writes: unordered co
+        {"coww+relacq+sys+split", false},
+    };
+    for (const Expectation &e : expectations) {
+        const GeneratedTest *t = find(suite, e.name);
+        ASSERT_NE(t, nullptr) << e.name;
+        core::Verifier verifier(t->program, ptx60Model(), {});
+        EXPECT_EQ(verifier.checkSafety().holds, e.holds) << e.name;
+    }
+}
+
+TEST(Generator, ProgressVerdictsHold)
+{
+    auto suite = litmus::generateProgressSuite(prog::Arch::Vulkan);
+    for (const char *name :
+         {"spin+relacq+dv+split+set+w1", "handshake+3+complete"}) {
+        const GeneratedTest *t = find(suite, name);
+        ASSERT_NE(t, nullptr) << name;
+        core::Verifier verifier(t->program, vulkanModel(), {});
+        EXPECT_TRUE(verifier.checkLiveness().holds) << name;
+    }
+    for (const char *name :
+         {"spin+relacq+dv+split+unset+w1", "handshake+3+deadlock"}) {
+        const GeneratedTest *t = find(suite, name);
+        ASSERT_NE(t, nullptr) << name;
+        core::Verifier verifier(t->program, vulkanModel(), {});
+        EXPECT_FALSE(verifier.checkLiveness().holds) << name;
+    }
+}
+
+TEST(Generator, ScaledPatternsGrowAndStayStraightLine)
+{
+    for (ScaledPattern pattern :
+         {ScaledPattern::MP, ScaledPattern::SB, ScaledPattern::LB}) {
+        prog::Program small =
+            litmus::generateScaled(pattern, prog::Arch::Ptx, 2);
+        prog::Program big =
+            litmus::generateScaled(pattern, prog::Arch::Ptx, 10);
+        EXPECT_EQ(small.numThreads(), 2);
+        EXPECT_EQ(big.numThreads(), 10);
+        EXPECT_TRUE(big.isStraightLine());
+    }
+    prog::Program iriw =
+        litmus::generateScaled(ScaledPattern::IRIW, prog::Arch::Vulkan,
+                               8);
+    EXPECT_EQ(iriw.numThreads(), 8);
+}
+
+TEST(Generator, ScaledPatternsKeepTheirWeakVerdict)
+{
+    // The scaled families encode classically-allowed weak behaviours:
+    // they must stay reachable at any size.
+    for (int threads : {2, 6}) {
+        prog::Program p = litmus::generateScaled(
+            ScaledPattern::SB, prog::Arch::Ptx, threads);
+        core::Verifier verifier(p, ptx75Model(), {});
+        EXPECT_TRUE(verifier.checkSafety().holds)
+            << "SB-" << threads;
+    }
+    prog::Program mp = litmus::generateScaled(ScaledPattern::MP,
+                                              prog::Arch::Ptx, 5);
+    core::Verifier verifier(mp, ptx75Model(), {});
+    EXPECT_TRUE(verifier.checkSafety().holds);
+}
+
+} // namespace
+} // namespace gpumc::test

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Randomized differential testing: generate small random straight-line
+ * programs and require the SMT engine and the explicit-state
+ * enumerator to agree on safety and data-race verdicts, under every
+ * model and both SMT backends. This is the repository's strongest
+ * internal-consistency check (the analogue of the paper's
+ * Dartagnan-vs-Alloy cross validation, at fuzz scale).
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "explicit/explicit_checker.hpp"
+#include "tests/test_util.hpp"
+
+namespace gpumc::test {
+namespace {
+
+using namespace prog;
+
+struct RandomConfig {
+    Arch arch;
+    uint32_t seed;
+};
+
+Program
+randomProgram(std::mt19937 &rng, Arch arch)
+{
+    Program p;
+    p.arch = arch;
+    int numThreads = 2 + rng() % 2;
+    int numVars = 1 + rng() % 2;
+    auto var = [&](int i) { return "v" + std::to_string(i); };
+
+    std::vector<MemOrder> orders = {MemOrder::Plain, MemOrder::Rlx,
+                                    MemOrder::Acq, MemOrder::Rel};
+    std::vector<Scope> scopes =
+        arch == Arch::Ptx
+            ? std::vector<Scope>{Scope::Cta, Scope::Gpu, Scope::Sys}
+            : std::vector<Scope>{Scope::Wg, Scope::Qf, Scope::Dv};
+
+    int regCounter = 0;
+    std::vector<std::pair<int, std::string>> readRegs;
+
+    for (int t = 0; t < numThreads; ++t) {
+        Thread thread;
+        thread.name = "P" + std::to_string(t);
+        if (arch == Arch::Ptx)
+            thread.placement.cta = rng() % 2;
+        else
+            thread.placement.wg = rng() % 2;
+        int numInstrs = 1 + rng() % 3;
+        for (int i = 0; i < numInstrs; ++i) {
+            Instruction ins;
+            MemOrder order = orders[rng() % orders.size()];
+            int kind = rng() % 5;
+            switch (kind) {
+              case 0:
+              case 1: { // store
+                ins.op = Opcode::Store;
+                ins.location = var(rng() % numVars);
+                ins.src = Operand::makeConst(1 + rng() % 3);
+                // A store can't be acquire.
+                ins.order = order == MemOrder::Acq ? MemOrder::Rel
+                                                   : order;
+                break;
+              }
+              case 2:
+              case 3: { // load
+                ins.op = Opcode::Load;
+                ins.location = var(rng() % numVars);
+                ins.dst = "r" + std::to_string(regCounter++);
+                ins.order = order == MemOrder::Rel ? MemOrder::Acq
+                                                   : order;
+                readRegs.push_back({t, ins.dst});
+                break;
+              }
+              case 4: { // fetch-add or fence
+                if (rng() % 2) {
+                    ins.op = Opcode::Rmw;
+                    ins.rmwKind = RmwKind::Add;
+                    ins.location = var(rng() % numVars);
+                    ins.dst = "r" + std::to_string(regCounter++);
+                    ins.src = Operand::makeConst(1);
+                    ins.order = order;
+                    readRegs.push_back({t, ins.dst});
+                } else {
+                    ins.op = Opcode::Fence;
+                    ins.order =
+                        order == MemOrder::Plain ? MemOrder::AcqRel
+                                                 : order;
+                    if (arch == Arch::Ptx && rng() % 4 == 0)
+                        ins.order = MemOrder::Sc;
+                    if (arch == Arch::Vulkan)
+                        ins.semSc0 = true;
+                }
+                break;
+              }
+            }
+            if (arch == Arch::Vulkan && ins.isMemoryAccess()) {
+                ins.atomic = ins.order != MemOrder::Plain ||
+                             ins.op == Opcode::Rmw || rng() % 2;
+                if (ins.atomic && ins.order == MemOrder::Plain)
+                    ins.order = MemOrder::Rlx;
+                ins.storageClass = StorageClass::Sc0;
+            } else if (arch == Arch::Ptx && ins.isMemoryAccess()) {
+                ins.atomic = ins.order != MemOrder::Plain;
+            }
+            if (ins.producesEvent())
+                ins.scope = scopes[rng() % scopes.size()];
+            thread.instrs.push_back(std::move(ins));
+        }
+        p.threads.push_back(std::move(thread));
+    }
+
+    for (int v = 0; v < numVars; ++v) {
+        VarDecl decl;
+        decl.name = var(v);
+        p.vars.push_back(std::move(decl));
+    }
+
+    // Random condition over up to three read registers.
+    CondPtr cond;
+    std::shuffle(readRegs.begin(), readRegs.end(), rng);
+    size_t terms = std::min<size_t>(readRegs.size(), 1 + rng() % 3);
+    for (size_t i = 0; i < terms; ++i) {
+        CondPtr leaf = Cond::mkCmp(
+            rng() % 2 == 0,
+            CondTerm::makeReg(readRegs[i].first, readRegs[i].second),
+            CondTerm::makeConst(rng() % 4));
+        cond = cond ? (rng() % 2 ? Cond::mkAnd(std::move(cond),
+                                               std::move(leaf))
+                                 : Cond::mkOr(std::move(cond),
+                                              std::move(leaf)))
+                    : std::move(leaf);
+    }
+    if (!cond)
+        cond = Cond::mkTrue();
+    p.assertKind = rng() % 3 == 0 ? AssertKind::Forall
+                                  : AssertKind::Exists;
+    p.assertion = std::move(cond);
+    p.validate();
+    return p;
+}
+
+class RandomDifferential
+    : public ::testing::TestWithParam<RandomConfig> {};
+
+TEST_P(RandomDifferential, EnginesAgree)
+{
+    std::mt19937 rng(GetParam().seed);
+    const cat::CatModel &model = GetParam().arch == Arch::Ptx
+                                     ? ptx75Model()
+                                     : vulkanModel();
+    for (int round = 0; round < 40; ++round) {
+        Program program = randomProgram(rng, GetParam().arch);
+
+        expl::ExplicitOptions explicitOptions;
+        explicitOptions.maxCandidates = 30000;
+        explicitOptions.timeoutMs = 3000;
+        expl::ExplicitChecker ground(program, model, explicitOptions);
+        expl::ExplicitResult oracle = ground.run();
+        ASSERT_TRUE(oracle.supported);
+        if (oracle.timedOut)
+            continue;
+
+        for (smt::BackendKind backend :
+             {smt::BackendKind::Builtin, smt::BackendKind::Z3}) {
+            core::VerifierOptions options;
+            options.backend = backend;
+            options.validateWitness = true;
+            core::Verifier verifier(program, model, options);
+            core::VerificationResult safety = verifier.checkSafety();
+            ASSERT_EQ(oracle.conditionHolds, safety.holds)
+                << "seed=" << GetParam().seed << " round=" << round
+                << " backend=" << (backend == smt::BackendKind::Z3
+                                       ? "z3" : "builtin");
+            if (model.hasFlaggedAxioms()) {
+                core::VerificationResult drf = verifier.checkCatSpec();
+                ASSERT_EQ(oracle.raceFound, !drf.holds)
+                    << "seed=" << GetParam().seed
+                    << " round=" << round;
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fuzz, RandomDifferential,
+    ::testing::Values(RandomConfig{Arch::Ptx, 1001},
+                      RandomConfig{Arch::Ptx, 2002},
+                      RandomConfig{Arch::Vulkan, 3003},
+                      RandomConfig{Arch::Vulkan, 4004}),
+    [](const auto &info) {
+        return std::string(info.param.arch == Arch::Ptx ? "ptx"
+                                                        : "vulkan") +
+               "_" + std::to_string(info.param.seed);
+    });
+
+} // namespace
+} // namespace gpumc::test

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * End-to-end smoke tests: classic weak-consistency litmus patterns
+ * through the full pipeline (parse -> unroll -> analyse -> encode ->
+ * solve) under both PTX models and the Vulkan model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.hpp"
+
+namespace gpumc::test {
+namespace {
+
+// Message passing with weak accesses: the stale read is observable.
+const char *kPtxMpWeak = R"(
+PTX "mp-weak"
+P0@cta 0,gpu 0     | P1@cta 0,gpu 0 ;
+st.weak x, 1       | ld.weak r0, y  ;
+st.weak y, 1       | ld.weak r1, x  ;
+exists (P1:r0 == 1 /\ P1:r1 == 0)
+)";
+
+// Message passing with release/acquire: the stale read is forbidden.
+const char *kPtxMpRelAcq = R"(
+PTX "mp-rel-acq"
+P0@cta 0,gpu 0        | P1@cta 0,gpu 0        ;
+st.weak x, 1          | ld.acquire.sys r0, y  ;
+st.release.sys y, 1   | ld.weak r1, x         ;
+exists (P1:r0 == 1 /\ P1:r1 == 0)
+)";
+
+TEST(Smoke, PtxMpWeakAllowed_V60)
+{
+    EXPECT_TRUE(checkSafety(kPtxMpWeak, ptx60Model()));
+}
+
+TEST(Smoke, PtxMpWeakAllowed_V75)
+{
+    EXPECT_TRUE(checkSafety(kPtxMpWeak, ptx75Model()));
+}
+
+TEST(Smoke, PtxMpRelAcqForbidden_V60)
+{
+    EXPECT_FALSE(checkSafety(kPtxMpRelAcq, ptx60Model()));
+}
+
+TEST(Smoke, PtxMpRelAcqForbidden_V75)
+{
+    EXPECT_FALSE(checkSafety(kPtxMpRelAcq, ptx75Model()));
+}
+
+TEST(Smoke, PtxCoWWRespectsProgramOrder)
+{
+    // Same-thread writes to one location: final value must be the last.
+    const char *test = R"(
+PTX "coww"
+P0@cta 0,gpu 0 ;
+st.weak x, 1   ;
+st.weak x, 2   ;
+exists (x == 1)
+)";
+    EXPECT_FALSE(checkSafety(test, ptx60Model()));
+    EXPECT_FALSE(checkSafety(test, ptx75Model()));
+}
+
+TEST(Smoke, PtxSbWithScFencesForbidden)
+{
+    const char *test = R"(
+PTX "sb-fence-sc"
+P0@cta 0,gpu 0 | P1@cta 0,gpu 0 ;
+st.relaxed.sys x, 1 | st.relaxed.sys y, 1 ;
+fence.sc.sys   | fence.sc.sys   ;
+ld.relaxed.sys r0, y | ld.relaxed.sys r1, x ;
+exists (P0:r0 == 0 /\ P1:r1 == 0)
+)";
+    EXPECT_FALSE(checkSafety(test, ptx60Model()));
+}
+
+TEST(Smoke, PtxSbWithoutFencesAllowed)
+{
+    const char *test = R"(
+PTX "sb-weak"
+P0@cta 0,gpu 0 | P1@cta 0,gpu 0 ;
+st.weak x, 1   | st.weak y, 1   ;
+ld.weak r0, y  | ld.weak r1, x  ;
+exists (P0:r0 == 0 /\ P1:r1 == 0)
+)";
+    EXPECT_TRUE(checkSafety(test, ptx60Model()));
+}
+
+TEST(Smoke, VulkanMpAtomicRelAcqForbidden)
+{
+    const char *test = R"(
+VULKAN "mp-vk-rel-acq"
+P0@sg 0,wg 0,qf 0        | P1@sg 0,wg 1,qf 0        ;
+st.atom.dv.sc0 data, 1   | ld.atom.acq.dv.sc0 r0, flag ;
+st.atom.rel.dv.sc0 flag, 1 | ld.atom.dv.sc0 r1, data ;
+exists (P1:r0 == 1 /\ P1:r1 == 0)
+)";
+    EXPECT_FALSE(checkSafety(test));
+}
+
+TEST(Smoke, VulkanMpRelaxedAllowed)
+{
+    const char *test = R"(
+VULKAN "mp-vk-rlx"
+P0@sg 0,wg 0,qf 0        | P1@sg 0,wg 1,qf 0        ;
+st.atom.dv.sc0 data, 1   | ld.atom.dv.sc0 r0, flag  ;
+st.atom.dv.sc0 flag, 1   | ld.atom.dv.sc0 r1, data  ;
+exists (P1:r0 == 1 /\ P1:r1 == 0)
+)";
+    EXPECT_TRUE(checkSafety(test));
+}
+
+TEST(Smoke, Z3BackendAgreesOnMp)
+{
+    core::VerifierOptions options;
+    options.backend = smt::BackendKind::Z3;
+    EXPECT_TRUE(checkSafety(kPtxMpWeak, ptx60Model(), options));
+    EXPECT_FALSE(checkSafety(kPtxMpRelAcq, ptx60Model(), options));
+}
+
+} // namespace
+} // namespace gpumc::test

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Unit and property tests for the circuit builder and the bit-vector
+ * layer, run against both backends.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "smt/bitvector.hpp"
+#include "smt/builtin_backend.hpp"
+#include "smt/z3_backend.hpp"
+
+namespace gpumc::smt {
+namespace {
+
+class CircuitTest : public ::testing::TestWithParam<BackendKind> {
+  protected:
+    CircuitTest()
+        : backend(makeBackend(GetParam())), circuit(*backend),
+          bv(circuit)
+    {
+    }
+
+    std::unique_ptr<Backend> backend;
+    Circuit circuit;
+    BitVecBuilder bv;
+};
+
+TEST_P(CircuitTest, ConstantsFold)
+{
+    EXPECT_EQ(circuit.mkAnd(circuit.trueLit(), circuit.falseLit()),
+              circuit.falseLit());
+    EXPECT_EQ(circuit.mkOr(circuit.trueLit(), circuit.falseLit()),
+              circuit.trueLit());
+    Lit v = circuit.freshVar();
+    EXPECT_EQ(circuit.mkAnd(v, circuit.trueLit()), v);
+    EXPECT_EQ(circuit.mkOr(v, circuit.falseLit()), v);
+    EXPECT_EQ(circuit.mkAnd(v, circuit.mkNot(v)), circuit.falseLit());
+    EXPECT_EQ(circuit.mkXor(v, v), circuit.falseLit());
+    EXPECT_EQ(circuit.mkXor(v, circuit.mkNot(v)), circuit.trueLit());
+}
+
+TEST_P(CircuitTest, GateCachingReturnsSameLiteral)
+{
+    Lit a = circuit.freshVar(), b = circuit.freshVar();
+    EXPECT_EQ(circuit.mkAnd(a, b), circuit.mkAnd(b, a));
+    EXPECT_EQ(circuit.mkXor(a, b), circuit.mkXor(b, a));
+}
+
+TEST_P(CircuitTest, AndOrSemantics)
+{
+    Lit a = circuit.freshVar(), b = circuit.freshVar();
+    Lit both = circuit.mkAnd(a, b);
+    circuit.assertLit(both);
+    ASSERT_EQ(backend->solve(), SolveResult::Sat);
+    EXPECT_TRUE(circuit.modelTrue(a));
+    EXPECT_TRUE(circuit.modelTrue(b));
+}
+
+TEST_P(CircuitTest, ExactlyOne)
+{
+    std::vector<Lit> lits;
+    for (int i = 0; i < 5; ++i)
+        lits.push_back(circuit.freshVar());
+    circuit.assertExactlyOne(lits);
+    ASSERT_EQ(backend->solve(), SolveResult::Sat);
+    int count = 0;
+    for (Lit l : lits)
+        count += circuit.modelTrue(l) ? 1 : 0;
+    EXPECT_EQ(count, 1);
+
+    // Forcing two of them is UNSAT.
+    circuit.assertLit(lits[0]);
+    circuit.assertLit(lits[3]);
+    EXPECT_EQ(backend->solve(), SolveResult::Unsat);
+}
+
+TEST_P(CircuitTest, IteSelects)
+{
+    Lit c = circuit.freshVar();
+    Lit t = circuit.trueLit(), e = circuit.falseLit();
+    Lit selected = circuit.mkIte(c, t, e);
+    circuit.assertLit(c);
+    circuit.assertLit(selected);
+    EXPECT_EQ(backend->solve(), SolveResult::Sat);
+}
+
+TEST_P(CircuitTest, BitVectorArithmetic)
+{
+    // Property check against concrete arithmetic on random constants.
+    std::mt19937 rng(7);
+    for (int round = 0; round < 20; ++round) {
+        uint64_t x = rng() % 256, y = rng() % 256;
+        BitVec bx = bv.constant(x, 8), by = bv.constant(y, 8);
+        BitVec sum = bv.add(bx, by);
+        BitVec diff = bv.sub(bx, by);
+        circuit.assertLit(bv.eqConst(sum, (x + y) & 0xff));
+        circuit.assertLit(bv.eqConst(diff, (x - y) & 0xff));
+        Lit lt = bv.ult(bx, by);
+        circuit.assertLit(x < y ? lt : circuit.mkNot(lt));
+        Lit le = bv.ule(bx, by);
+        circuit.assertLit(x <= y ? le : circuit.mkNot(le));
+    }
+    EXPECT_EQ(backend->solve(), SolveResult::Sat);
+}
+
+TEST_P(CircuitTest, BitVectorSolving)
+{
+    // x + 3 == 10 has the unique solution x == 7.
+    BitVec x = bv.fresh(8);
+    circuit.assertLit(bv.eqConst(bv.add(x, bv.constant(3, 8)), 10));
+    ASSERT_EQ(backend->solve(), SolveResult::Sat);
+    EXPECT_EQ(bv.modelValue(x), 7u);
+
+    // Additionally require x > 9: now UNSAT.
+    circuit.assertLit(bv.ult(bv.constant(9, 8), x));
+    EXPECT_EQ(backend->solve(), SolveResult::Unsat);
+}
+
+TEST_P(CircuitTest, IteOnBitVectors)
+{
+    Lit c = circuit.freshVar();
+    BitVec a = bv.constant(11, 8), b = bv.constant(22, 8);
+    BitVec sel = bv.ite(c, a, b);
+    circuit.assertLit(c);
+    ASSERT_EQ(backend->solve(), SolveResult::Sat);
+    EXPECT_EQ(bv.modelValue(sel), 11u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, CircuitTest,
+                         ::testing::Values(BackendKind::Builtin,
+                                           BackendKind::Z3),
+                         [](const auto &info) {
+                             return info.param == BackendKind::Z3
+                                        ? "z3"
+                                        : "builtin";
+                         });
+
+} // namespace
+} // namespace gpumc::smt

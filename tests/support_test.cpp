@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Unit tests for the support library: string helpers, stopwatch/stats,
+ * diagnostics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/diagnostics.hpp"
+#include "support/stats.hpp"
+#include "support/string_utils.hpp"
+
+namespace gpumc {
+namespace {
+
+TEST(StringUtils, Split)
+{
+    EXPECT_EQ(split("a,b,,c", ','),
+              (std::vector<std::string>{"a", "b", "", "c"}));
+    EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+    EXPECT_EQ(split("x", ','), (std::vector<std::string>{"x"}));
+}
+
+TEST(StringUtils, SplitWhitespace)
+{
+    EXPECT_EQ(splitWhitespace("  a \t b\nc  "),
+              (std::vector<std::string>{"a", "b", "c"}));
+    EXPECT_TRUE(splitWhitespace("   ").empty());
+}
+
+TEST(StringUtils, Trim)
+{
+    EXPECT_EQ(trim("  hi  "), "hi");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim(" \t\n"), "");
+    EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(StringUtils, Affixes)
+{
+    EXPECT_TRUE(startsWith("foobar", "foo"));
+    EXPECT_FALSE(startsWith("fo", "foo"));
+    EXPECT_TRUE(endsWith("test.litmus", ".litmus"));
+    EXPECT_FALSE(endsWith("litmus", ".litmus"));
+}
+
+TEST(StringUtils, JoinAndLower)
+{
+    EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+    EXPECT_EQ(join({}, ","), "");
+    EXPECT_EQ(toLower("PTX v7.5"), "ptx v7.5");
+}
+
+TEST(StringUtils, IsInteger)
+{
+    EXPECT_TRUE(isInteger("42"));
+    EXPECT_TRUE(isInteger("-7"));
+    EXPECT_FALSE(isInteger(""));
+    EXPECT_FALSE(isInteger("-"));
+    EXPECT_FALSE(isInteger("1x"));
+    EXPECT_FALSE(isInteger("x1"));
+}
+
+TEST(Diagnostics, FatalErrorCarriesLocation)
+{
+    try {
+        fatalAt(SourceLoc{3, 7}, "bad ", 42);
+        FAIL() << "expected a throw";
+    } catch (const FatalError &error) {
+        EXPECT_NE(std::string(error.what()).find("3:7"),
+                  std::string::npos);
+        EXPECT_NE(std::string(error.what()).find("bad 42"),
+                  std::string::npos);
+        EXPECT_EQ(error.loc().line, 3);
+    }
+}
+
+TEST(Diagnostics, SourceLocStr)
+{
+    EXPECT_EQ(SourceLoc{}.str(), "<unknown>");
+    EXPECT_EQ((SourceLoc{12, 1}).str(), "12:1");
+    EXPECT_FALSE(SourceLoc{}.known());
+}
+
+TEST(Stats, RegistryAccumulates)
+{
+    StatsRegistry stats;
+    stats.add("x", 2);
+    stats.add("x", 3);
+    stats.set("y", 10);
+    EXPECT_EQ(stats.get("x"), 5);
+    EXPECT_EQ(stats.get("y"), 10);
+    EXPECT_EQ(stats.get("missing"), 0);
+    EXPECT_EQ(stats.all().size(), 2u);
+}
+
+TEST(Stats, StopwatchAdvances)
+{
+    Stopwatch watch;
+    volatile int sink = 0;
+    for (int i = 0; i < 100000; ++i)
+        sink += i;
+    EXPECT_GE(watch.elapsedMs(), 0.0);
+    watch.restart();
+    EXPECT_LT(watch.elapsedMs(), 1000.0);
+}
+
+} // namespace
+} // namespace gpumc

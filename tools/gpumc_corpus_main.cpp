@@ -1,0 +1,142 @@
+/**
+ * @file
+ * gpumc-corpus: batch-run every litmus test under a directory against
+ * the shipped models, check `@expect` directives, and summarize — the
+ * CLI counterpart of the corpus regression suite.
+ *
+ *   gpumc-corpus <directory> [--bound=N] [--backend=z3|builtin]
+ */
+
+#include <filesystem>
+#include <iostream>
+#include <vector>
+
+#include "cat/model.hpp"
+#include "core/verifier.hpp"
+#include "litmus/litmus_parser.hpp"
+#include "support/string_utils.hpp"
+
+using namespace gpumc;
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Totals {
+    int checks = 0;
+    int passed = 0;
+    int skipped = 0;
+    double ms = 0;
+};
+
+std::string
+metaOr(const prog::Program &p, const std::string &key,
+       const std::string &fallback)
+{
+    auto it = p.meta.find(key);
+    return it == p.meta.end() ? fallback : it->second;
+}
+
+void
+runOne(const std::string &file, const cat::CatModel &model,
+       const std::string &modelTag, core::VerifierOptions options,
+       const prog::Program &program, Totals &totals)
+{
+    auto bound = program.meta.find("bound");
+    if (bound != program.meta.end())
+        options.bound = std::stoi(bound->second);
+
+    auto verdict = [&](const std::string &kind, bool holds, bool expected,
+                       double ms) {
+        totals.checks++;
+        totals.ms += ms;
+        bool ok = holds == expected;
+        totals.passed += ok ? 1 : 0;
+        std::printf("%-6s %-9s %-10s %8.1fms  %s\n",
+                    ok ? "ok" : "FAIL", kind.c_str(), modelTag.c_str(),
+                    ms, file.c_str());
+    };
+
+    std::string safety = metaOr(program, "safety-" + modelTag,
+                                metaOr(program, "safety", ""));
+    if (!safety.empty()) {
+        core::Verifier verifier(program, model, options);
+        core::VerificationResult r = verifier.checkSafety();
+        verdict("safety", r.holds, safety == "holds", r.timeMs);
+    }
+    std::string liveness = metaOr(program, "liveness", "");
+    if (!liveness.empty()) {
+        core::Verifier verifier(program, model, options);
+        core::VerificationResult r = verifier.checkLiveness();
+        verdict("live", r.holds, liveness == "live", r.timeMs);
+    }
+    std::string drf = metaOr(program, "drf", "");
+    if (!drf.empty() && model.hasFlaggedAxioms()) {
+        core::Verifier verifier(program, model, options);
+        core::VerificationResult r = verifier.checkCatSpec();
+        verdict("drf", r.holds, drf == "racefree", r.timeMs);
+    }
+    if (safety.empty() && liveness.empty() && drf.empty())
+        totals.skipped++;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::cerr << "usage: gpumc-corpus <directory> [--bound=N] "
+                     "[--backend=z3|builtin]\n";
+        return 2;
+    }
+    std::string dir = argv[1];
+    core::VerifierOptions options;
+    for (int i = 2; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (startsWith(arg, "--bound="))
+            options.bound = std::stoi(arg.substr(8));
+        else if (arg == "--backend=z3")
+            options.backend = smt::BackendKind::Z3;
+        else if (arg == "--backend=builtin")
+            options.backend = smt::BackendKind::Builtin;
+    }
+    options.wantWitness = false;
+
+    cat::CatModel ptx60 = cat::CatModel::fromFile(
+        std::string(GPUMC_CAT_DIR) + "/ptx-v6.0.cat");
+    cat::CatModel ptx75 = cat::CatModel::fromFile(
+        std::string(GPUMC_CAT_DIR) + "/ptx-v7.5.cat");
+    cat::CatModel vulkan = cat::CatModel::fromFile(
+        std::string(GPUMC_CAT_DIR) + "/vulkan.cat");
+
+    std::vector<std::string> files;
+    for (const auto &entry : fs::recursive_directory_iterator(dir)) {
+        if (entry.is_regular_file() &&
+            entry.path().extension() == ".litmus") {
+            files.push_back(entry.path().string());
+        }
+    }
+    std::sort(files.begin(), files.end());
+
+    Totals totals;
+    for (const std::string &file : files) {
+        try {
+            prog::Program program = litmus::parseLitmusFile(file);
+            if (program.arch == prog::Arch::Ptx) {
+                runOne(file, ptx60, "v60", options, program, totals);
+                runOne(file, ptx75, "v75", options, program, totals);
+            } else {
+                runOne(file, vulkan, "vulkan", options, program, totals);
+            }
+        } catch (const FatalError &error) {
+            std::printf("ERROR  %-30s %s\n", file.c_str(), error.what());
+            totals.checks++;
+        }
+    }
+
+    std::printf("\n%d/%d expectation checks passed across %zu files "
+                "(%d runs without expectations), %.0f ms total\n",
+                totals.passed, totals.checks, files.size(),
+                totals.skipped, totals.ms);
+    return totals.passed == totals.checks ? 0 : 1;
+}

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * gpumc command-line driver, mirroring the Dartagnan invocation of the
+ * paper's artifact:
+ *
+ *   gpumc <test.litmus|test.spvasm> <model.cat>
+ *         [--property=program_spec|cat_spec|liveness]
+ *         [--bound=N] [--backend=z3|builtin]
+ *         [--grid=X.Y] [--witness] [--dot=<out.dot>] [--explicit]
+ */
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+
+#include "cat/model.hpp"
+#include "core/verifier.hpp"
+#include "explicit/explicit_checker.hpp"
+#include "litmus/litmus_parser.hpp"
+#include "spirv/spirv_parser.hpp"
+#include "support/string_utils.hpp"
+
+namespace {
+
+using namespace gpumc;
+
+struct CliOptions {
+    std::string inputPath;
+    std::string modelPath;
+    core::Property property = core::Property::Safety;
+    core::VerifierOptions verifier;
+    bool useExplicit = false;
+    bool printWitness = false;
+    std::string dotPath;
+    std::optional<spirv::Grid> grid;
+};
+
+[[noreturn]] void
+usage()
+{
+    std::cerr <<
+        "usage: gpumc <test.litmus|test.spvasm> <model.cat> [options]\n"
+        "  --property=program_spec|cat_spec|liveness  (default: "
+        "program_spec)\n"
+        "  --bound=N          loop unroll bound (default: 2)\n"
+        "  --timeout=MS       solver budget per query (0 = unlimited)\n"
+        "  --backend=z3|builtin\n"
+        "  --grid=X.Y         thread grid for SPIR-V kernels\n"
+        "  --witness          print the witness execution\n"
+        "  --dot=FILE         write the witness as a GraphViz graph\n"
+        "  --explicit         use the explicit-state (Alloy-like) "
+        "checker\n";
+    std::exit(2);
+}
+
+CliOptions
+parseArgs(int argc, char **argv)
+{
+    CliOptions opts;
+    std::vector<std::string> positional;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (!startsWith(arg, "--")) {
+            positional.push_back(arg);
+            continue;
+        }
+        auto eq = arg.find('=');
+        std::string key = arg.substr(2, eq - 2);
+        std::string value =
+            eq == std::string::npos ? "" : arg.substr(eq + 1);
+        if (key == "property") {
+            if (value == "program_spec") {
+                opts.property = core::Property::Safety;
+            } else if (value == "cat_spec") {
+                opts.property = core::Property::CatSpec;
+            } else if (value == "liveness") {
+                opts.property = core::Property::Liveness;
+            } else {
+                usage();
+            }
+        } else if (key == "bound") {
+            opts.verifier.bound = std::stoi(value);
+        } else if (key == "timeout") {
+            opts.verifier.solverTimeoutMs = std::stoll(value);
+        } else if (key == "backend") {
+            opts.verifier.backend = value == "builtin"
+                                        ? smt::BackendKind::Builtin
+                                        : smt::BackendKind::Z3;
+        } else if (key == "grid") {
+            auto parts = split(value, '.');
+            if (parts.size() != 2)
+                usage();
+            spirv::Grid grid;
+            grid.threadsPerWorkgroup = std::stoi(parts[0]);
+            grid.workgroups = std::stoi(parts[1]);
+            opts.grid = grid;
+        } else if (key == "witness") {
+            opts.printWitness = true;
+        } else if (key == "dot") {
+            opts.dotPath = value;
+        } else if (key == "explicit") {
+            opts.useExplicit = true;
+        } else {
+            usage();
+        }
+    }
+    if (positional.size() != 2)
+        usage();
+    opts.inputPath = positional[0];
+    opts.modelPath = positional[1];
+    return opts;
+}
+
+int
+runExplicit(const prog::Program &program, const cat::CatModel &model)
+{
+    expl::ExplicitChecker checker(program, model);
+    expl::ExplicitResult result = checker.run();
+    if (!result.supported) {
+        std::cout << "UNSUPPORTED: " << result.unsupportedReason << "\n";
+        return 3;
+    }
+    std::cout << "explicit checker: "
+              << result.consistentBehaviours << " consistent behaviours, "
+              << result.candidatesExplored << " candidates\n"
+              << "condition "
+              << (result.conditionHolds ? "HOLDS" : "FAILS") << "\n"
+              << "data race: " << (result.raceFound ? "YES" : "NO") << "\n"
+              << "time: " << result.timeMs << " ms\n";
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        CliOptions opts = parseArgs(argc, argv);
+
+        prog::Program program;
+        if (endsWith(opts.inputPath, ".litmus")) {
+            program = litmus::parseLitmusFile(opts.inputPath);
+        } else {
+            program = spirv::loadSpirvFile(
+                opts.inputPath, opts.grid ? &*opts.grid : nullptr);
+        }
+        cat::CatModel model = cat::CatModel::fromFile(opts.modelPath);
+
+        std::cout << "test: " << program.name << " ("
+                  << prog::archName(program.arch) << ", "
+                  << program.numThreads() << " threads)\n"
+                  << "model: " << model.name() << "\n";
+
+        if (opts.useExplicit)
+            return runExplicit(program, model);
+
+        core::Verifier verifier(program, model, opts.verifier);
+        core::VerificationResult result = verifier.check(opts.property);
+
+        if (result.unknown) {
+            std::cout << "result: UNKNOWN (" << result.detail << ")\n";
+            return 3;
+        }
+        const char *propertyName =
+            opts.property == core::Property::Safety ? "program_spec"
+            : opts.property == core::Property::CatSpec ? "cat_spec"
+                                                       : "liveness";
+        std::cout << "property: " << propertyName << "\n"
+                  << "result: " << result.detail
+                  << (opts.property == core::Property::Safety
+                          ? std::string(" [") +
+                                prog::assertKindName(
+                                    program.assertKind) +
+                                " statement is " +
+                                (result.holds ? "true" : "false") + "]"
+                          : result.holds ? " [pass]" : " [fail]")
+                  << "\n"
+                  << "events: " << result.stats.get("events")
+                  << ", smt vars: " << result.stats.get("smtVars")
+                  << ", clauses: " << result.stats.get("smtClauses")
+                  << "\n"
+                  << "time: " << result.timeMs << " ms\n";
+
+        if (result.witness) {
+            if (opts.printWitness)
+                std::cout << "witness:\n" << result.witness->toText();
+            if (!opts.dotPath.empty()) {
+                std::ofstream dot(opts.dotPath);
+                dot << result.witness->toDot(program.name);
+                std::cout << "witness graph written to " << opts.dotPath
+                          << "\n";
+            }
+        }
+        return result.holds ? 0 : 1;
+    } catch (const gpumc::FatalError &error) {
+        std::cerr << "error: " << error.what() << "\n";
+        return 2;
+    }
+}
