@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_relanalysis.dir/ablation_relanalysis.cpp.o"
+  "CMakeFiles/ablation_relanalysis.dir/ablation_relanalysis.cpp.o.d"
+  "ablation_relanalysis"
+  "ablation_relanalysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_relanalysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table5_model_validation.cpp" "bench/CMakeFiles/table5_model_validation.dir/table5_model_validation.cpp.o" "gcc" "bench/CMakeFiles/table5_model_validation.dir/table5_model_validation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gpumc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/explicit/CMakeFiles/gpumc_explicit.dir/DependInfo.cmake"
+  "/root/repo/build/src/litmus/CMakeFiles/gpumc_litmus.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/gpumc_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpuverify/CMakeFiles/gpumc_gpuverify.dir/DependInfo.cmake"
+  "/root/repo/build/src/spirv/CMakeFiles/gpumc_spirv.dir/DependInfo.cmake"
+  "/root/repo/build/src/encoder/CMakeFiles/gpumc_encoder.dir/DependInfo.cmake"
+  "/root/repo/build/src/smt/CMakeFiles/gpumc_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/gpumc_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/cat/CMakeFiles/gpumc_cat.dir/DependInfo.cmake"
+  "/root/repo/build/src/program/CMakeFiles/gpumc_program.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gpumc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

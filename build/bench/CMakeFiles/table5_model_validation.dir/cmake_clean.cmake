@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_model_validation.dir/table5_model_validation.cpp.o"
+  "CMakeFiles/table5_model_validation.dir/table5_model_validation.cpp.o.d"
+  "table5_model_validation"
+  "table5_model_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_model_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_real_code.dir/table7_real_code.cpp.o"
+  "CMakeFiles/table7_real_code.dir/table7_real_code.cpp.o.d"
+  "table7_real_code"
+  "table7_real_code.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_real_code.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compiler_bug.dir/compiler_bug.cpp.o"
+  "CMakeFiles/compiler_bug.dir/compiler_bug.cpp.o.d"
+  "compiler_bug"
+  "compiler_bug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compiler_bug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ticket_mutex.dir/ticket_mutex.cpp.o"
+  "CMakeFiles/ticket_mutex.dir/ticket_mutex.cpp.o.d"
+  "ticket_mutex"
+  "ticket_mutex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ticket_mutex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

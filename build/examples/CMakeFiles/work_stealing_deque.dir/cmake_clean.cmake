@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/work_stealing_deque.dir/work_stealing_deque.cpp.o"
+  "CMakeFiles/work_stealing_deque.dir/work_stealing_deque.cpp.o.d"
+  "work_stealing_deque"
+  "work_stealing_deque.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/work_stealing_deque.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xf_barrier.dir/xf_barrier.cpp.o"
+  "CMakeFiles/xf_barrier.dir/xf_barrier.cpp.o.d"
+  "xf_barrier"
+  "xf_barrier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xf_barrier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("smt")
+subdirs("cat")
+subdirs("program")
+subdirs("litmus")
+subdirs("kernels")
+subdirs("spirv")
+subdirs("analysis")
+subdirs("encoder")
+subdirs("explicit")
+subdirs("gpuverify")
+subdirs("core")

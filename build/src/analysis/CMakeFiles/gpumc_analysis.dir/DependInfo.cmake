@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/dependency_analysis.cpp" "src/analysis/CMakeFiles/gpumc_analysis.dir/dependency_analysis.cpp.o" "gcc" "src/analysis/CMakeFiles/gpumc_analysis.dir/dependency_analysis.cpp.o.d"
+  "/root/repo/src/analysis/exec_analysis.cpp" "src/analysis/CMakeFiles/gpumc_analysis.dir/exec_analysis.cpp.o" "gcc" "src/analysis/CMakeFiles/gpumc_analysis.dir/exec_analysis.cpp.o.d"
+  "/root/repo/src/analysis/relation_analysis.cpp" "src/analysis/CMakeFiles/gpumc_analysis.dir/relation_analysis.cpp.o" "gcc" "src/analysis/CMakeFiles/gpumc_analysis.dir/relation_analysis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/program/CMakeFiles/gpumc_program.dir/DependInfo.cmake"
+  "/root/repo/build/src/cat/CMakeFiles/gpumc_cat.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gpumc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

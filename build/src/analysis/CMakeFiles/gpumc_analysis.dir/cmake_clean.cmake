@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpumc_analysis.dir/dependency_analysis.cpp.o"
+  "CMakeFiles/gpumc_analysis.dir/dependency_analysis.cpp.o.d"
+  "CMakeFiles/gpumc_analysis.dir/exec_analysis.cpp.o"
+  "CMakeFiles/gpumc_analysis.dir/exec_analysis.cpp.o.d"
+  "CMakeFiles/gpumc_analysis.dir/relation_analysis.cpp.o"
+  "CMakeFiles/gpumc_analysis.dir/relation_analysis.cpp.o.d"
+  "libgpumc_analysis.a"
+  "libgpumc_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpumc_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cat/evaluator.cpp" "src/cat/CMakeFiles/gpumc_cat.dir/evaluator.cpp.o" "gcc" "src/cat/CMakeFiles/gpumc_cat.dir/evaluator.cpp.o.d"
+  "/root/repo/src/cat/lexer.cpp" "src/cat/CMakeFiles/gpumc_cat.dir/lexer.cpp.o" "gcc" "src/cat/CMakeFiles/gpumc_cat.dir/lexer.cpp.o.d"
+  "/root/repo/src/cat/model.cpp" "src/cat/CMakeFiles/gpumc_cat.dir/model.cpp.o" "gcc" "src/cat/CMakeFiles/gpumc_cat.dir/model.cpp.o.d"
+  "/root/repo/src/cat/pair_set.cpp" "src/cat/CMakeFiles/gpumc_cat.dir/pair_set.cpp.o" "gcc" "src/cat/CMakeFiles/gpumc_cat.dir/pair_set.cpp.o.d"
+  "/root/repo/src/cat/parser.cpp" "src/cat/CMakeFiles/gpumc_cat.dir/parser.cpp.o" "gcc" "src/cat/CMakeFiles/gpumc_cat.dir/parser.cpp.o.d"
+  "/root/repo/src/cat/vocabulary.cpp" "src/cat/CMakeFiles/gpumc_cat.dir/vocabulary.cpp.o" "gcc" "src/cat/CMakeFiles/gpumc_cat.dir/vocabulary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/gpumc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

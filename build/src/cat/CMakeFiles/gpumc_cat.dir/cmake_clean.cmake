@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpumc_cat.dir/evaluator.cpp.o"
+  "CMakeFiles/gpumc_cat.dir/evaluator.cpp.o.d"
+  "CMakeFiles/gpumc_cat.dir/lexer.cpp.o"
+  "CMakeFiles/gpumc_cat.dir/lexer.cpp.o.d"
+  "CMakeFiles/gpumc_cat.dir/model.cpp.o"
+  "CMakeFiles/gpumc_cat.dir/model.cpp.o.d"
+  "CMakeFiles/gpumc_cat.dir/pair_set.cpp.o"
+  "CMakeFiles/gpumc_cat.dir/pair_set.cpp.o.d"
+  "CMakeFiles/gpumc_cat.dir/parser.cpp.o"
+  "CMakeFiles/gpumc_cat.dir/parser.cpp.o.d"
+  "CMakeFiles/gpumc_cat.dir/vocabulary.cpp.o"
+  "CMakeFiles/gpumc_cat.dir/vocabulary.cpp.o.d"
+  "libgpumc_cat.a"
+  "libgpumc_cat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpumc_cat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

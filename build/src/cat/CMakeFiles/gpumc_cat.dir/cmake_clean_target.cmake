@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgpumc_cat.a"
+)

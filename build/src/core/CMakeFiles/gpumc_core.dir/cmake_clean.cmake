@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpumc_core.dir/verifier.cpp.o"
+  "CMakeFiles/gpumc_core.dir/verifier.cpp.o.d"
+  "CMakeFiles/gpumc_core.dir/witness.cpp.o"
+  "CMakeFiles/gpumc_core.dir/witness.cpp.o.d"
+  "libgpumc_core.a"
+  "libgpumc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpumc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpumc_encoder.dir/program_encoder.cpp.o"
+  "CMakeFiles/gpumc_encoder.dir/program_encoder.cpp.o.d"
+  "CMakeFiles/gpumc_encoder.dir/relation_encoder.cpp.o"
+  "CMakeFiles/gpumc_encoder.dir/relation_encoder.cpp.o.d"
+  "libgpumc_encoder.a"
+  "libgpumc_encoder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpumc_encoder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpumc_explicit.dir/explicit_checker.cpp.o"
+  "CMakeFiles/gpumc_explicit.dir/explicit_checker.cpp.o.d"
+  "libgpumc_explicit.a"
+  "libgpumc_explicit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpumc_explicit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpumc_gpuverify.dir/static_drf.cpp.o"
+  "CMakeFiles/gpumc_gpuverify.dir/static_drf.cpp.o.d"
+  "libgpumc_gpuverify.a"
+  "libgpumc_gpuverify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpumc_gpuverify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for gpumc_gpuverify.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpumc_kernels.dir/sync_kernels.cpp.o"
+  "CMakeFiles/gpumc_kernels.dir/sync_kernels.cpp.o.d"
+  "libgpumc_kernels.a"
+  "libgpumc_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpumc_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/litmus/condition_parser.cpp" "src/litmus/CMakeFiles/gpumc_litmus.dir/condition_parser.cpp.o" "gcc" "src/litmus/CMakeFiles/gpumc_litmus.dir/condition_parser.cpp.o.d"
+  "/root/repo/src/litmus/dialect_common.cpp" "src/litmus/CMakeFiles/gpumc_litmus.dir/dialect_common.cpp.o" "gcc" "src/litmus/CMakeFiles/gpumc_litmus.dir/dialect_common.cpp.o.d"
+  "/root/repo/src/litmus/generator.cpp" "src/litmus/CMakeFiles/gpumc_litmus.dir/generator.cpp.o" "gcc" "src/litmus/CMakeFiles/gpumc_litmus.dir/generator.cpp.o.d"
+  "/root/repo/src/litmus/litmus_parser.cpp" "src/litmus/CMakeFiles/gpumc_litmus.dir/litmus_parser.cpp.o" "gcc" "src/litmus/CMakeFiles/gpumc_litmus.dir/litmus_parser.cpp.o.d"
+  "/root/repo/src/litmus/ptx_dialect.cpp" "src/litmus/CMakeFiles/gpumc_litmus.dir/ptx_dialect.cpp.o" "gcc" "src/litmus/CMakeFiles/gpumc_litmus.dir/ptx_dialect.cpp.o.d"
+  "/root/repo/src/litmus/vulkan_dialect.cpp" "src/litmus/CMakeFiles/gpumc_litmus.dir/vulkan_dialect.cpp.o" "gcc" "src/litmus/CMakeFiles/gpumc_litmus.dir/vulkan_dialect.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/program/CMakeFiles/gpumc_program.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gpumc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpumc_litmus.dir/condition_parser.cpp.o"
+  "CMakeFiles/gpumc_litmus.dir/condition_parser.cpp.o.d"
+  "CMakeFiles/gpumc_litmus.dir/dialect_common.cpp.o"
+  "CMakeFiles/gpumc_litmus.dir/dialect_common.cpp.o.d"
+  "CMakeFiles/gpumc_litmus.dir/generator.cpp.o"
+  "CMakeFiles/gpumc_litmus.dir/generator.cpp.o.d"
+  "CMakeFiles/gpumc_litmus.dir/litmus_parser.cpp.o"
+  "CMakeFiles/gpumc_litmus.dir/litmus_parser.cpp.o.d"
+  "CMakeFiles/gpumc_litmus.dir/ptx_dialect.cpp.o"
+  "CMakeFiles/gpumc_litmus.dir/ptx_dialect.cpp.o.d"
+  "CMakeFiles/gpumc_litmus.dir/vulkan_dialect.cpp.o"
+  "CMakeFiles/gpumc_litmus.dir/vulkan_dialect.cpp.o.d"
+  "libgpumc_litmus.a"
+  "libgpumc_litmus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpumc_litmus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/program/assertion.cpp" "src/program/CMakeFiles/gpumc_program.dir/assertion.cpp.o" "gcc" "src/program/CMakeFiles/gpumc_program.dir/assertion.cpp.o.d"
+  "/root/repo/src/program/event.cpp" "src/program/CMakeFiles/gpumc_program.dir/event.cpp.o" "gcc" "src/program/CMakeFiles/gpumc_program.dir/event.cpp.o.d"
+  "/root/repo/src/program/program.cpp" "src/program/CMakeFiles/gpumc_program.dir/program.cpp.o" "gcc" "src/program/CMakeFiles/gpumc_program.dir/program.cpp.o.d"
+  "/root/repo/src/program/types.cpp" "src/program/CMakeFiles/gpumc_program.dir/types.cpp.o" "gcc" "src/program/CMakeFiles/gpumc_program.dir/types.cpp.o.d"
+  "/root/repo/src/program/unroller.cpp" "src/program/CMakeFiles/gpumc_program.dir/unroller.cpp.o" "gcc" "src/program/CMakeFiles/gpumc_program.dir/unroller.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/gpumc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

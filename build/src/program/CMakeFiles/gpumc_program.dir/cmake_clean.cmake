@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpumc_program.dir/assertion.cpp.o"
+  "CMakeFiles/gpumc_program.dir/assertion.cpp.o.d"
+  "CMakeFiles/gpumc_program.dir/event.cpp.o"
+  "CMakeFiles/gpumc_program.dir/event.cpp.o.d"
+  "CMakeFiles/gpumc_program.dir/program.cpp.o"
+  "CMakeFiles/gpumc_program.dir/program.cpp.o.d"
+  "CMakeFiles/gpumc_program.dir/types.cpp.o"
+  "CMakeFiles/gpumc_program.dir/types.cpp.o.d"
+  "CMakeFiles/gpumc_program.dir/unroller.cpp.o"
+  "CMakeFiles/gpumc_program.dir/unroller.cpp.o.d"
+  "libgpumc_program.a"
+  "libgpumc_program.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpumc_program.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for gpumc_program.
+# This may be replaced when dependencies are built.

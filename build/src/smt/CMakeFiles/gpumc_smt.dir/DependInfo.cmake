@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/smt/backend.cpp" "src/smt/CMakeFiles/gpumc_smt.dir/backend.cpp.o" "gcc" "src/smt/CMakeFiles/gpumc_smt.dir/backend.cpp.o.d"
+  "/root/repo/src/smt/bitvector.cpp" "src/smt/CMakeFiles/gpumc_smt.dir/bitvector.cpp.o" "gcc" "src/smt/CMakeFiles/gpumc_smt.dir/bitvector.cpp.o.d"
+  "/root/repo/src/smt/builtin_backend.cpp" "src/smt/CMakeFiles/gpumc_smt.dir/builtin_backend.cpp.o" "gcc" "src/smt/CMakeFiles/gpumc_smt.dir/builtin_backend.cpp.o.d"
+  "/root/repo/src/smt/circuit.cpp" "src/smt/CMakeFiles/gpumc_smt.dir/circuit.cpp.o" "gcc" "src/smt/CMakeFiles/gpumc_smt.dir/circuit.cpp.o.d"
+  "/root/repo/src/smt/sat/solver.cpp" "src/smt/CMakeFiles/gpumc_smt.dir/sat/solver.cpp.o" "gcc" "src/smt/CMakeFiles/gpumc_smt.dir/sat/solver.cpp.o.d"
+  "/root/repo/src/smt/z3_backend.cpp" "src/smt/CMakeFiles/gpumc_smt.dir/z3_backend.cpp.o" "gcc" "src/smt/CMakeFiles/gpumc_smt.dir/z3_backend.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/gpumc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

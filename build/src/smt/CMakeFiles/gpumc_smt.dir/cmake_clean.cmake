@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpumc_smt.dir/backend.cpp.o"
+  "CMakeFiles/gpumc_smt.dir/backend.cpp.o.d"
+  "CMakeFiles/gpumc_smt.dir/bitvector.cpp.o"
+  "CMakeFiles/gpumc_smt.dir/bitvector.cpp.o.d"
+  "CMakeFiles/gpumc_smt.dir/builtin_backend.cpp.o"
+  "CMakeFiles/gpumc_smt.dir/builtin_backend.cpp.o.d"
+  "CMakeFiles/gpumc_smt.dir/circuit.cpp.o"
+  "CMakeFiles/gpumc_smt.dir/circuit.cpp.o.d"
+  "CMakeFiles/gpumc_smt.dir/sat/solver.cpp.o"
+  "CMakeFiles/gpumc_smt.dir/sat/solver.cpp.o.d"
+  "CMakeFiles/gpumc_smt.dir/z3_backend.cpp.o"
+  "CMakeFiles/gpumc_smt.dir/z3_backend.cpp.o.d"
+  "libgpumc_smt.a"
+  "libgpumc_smt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpumc_smt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

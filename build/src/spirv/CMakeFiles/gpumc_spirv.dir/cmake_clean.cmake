@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpumc_spirv.dir/spirv_parser.cpp.o"
+  "CMakeFiles/gpumc_spirv.dir/spirv_parser.cpp.o.d"
+  "libgpumc_spirv.a"
+  "libgpumc_spirv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpumc_spirv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpumc_support.dir/diagnostics.cpp.o"
+  "CMakeFiles/gpumc_support.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/gpumc_support.dir/stats.cpp.o"
+  "CMakeFiles/gpumc_support.dir/stats.cpp.o.d"
+  "CMakeFiles/gpumc_support.dir/string_utils.cpp.o"
+  "CMakeFiles/gpumc_support.dir/string_utils.cpp.o.d"
+  "libgpumc_support.a"
+  "libgpumc_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpumc_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cat_language_test.cpp" "tests/CMakeFiles/gpumc_tests.dir/cat_language_test.cpp.o" "gcc" "tests/CMakeFiles/gpumc_tests.dir/cat_language_test.cpp.o.d"
+  "/root/repo/tests/corpus_test.cpp" "tests/CMakeFiles/gpumc_tests.dir/corpus_test.cpp.o" "gcc" "tests/CMakeFiles/gpumc_tests.dir/corpus_test.cpp.o.d"
+  "/root/repo/tests/cross_validation_test.cpp" "tests/CMakeFiles/gpumc_tests.dir/cross_validation_test.cpp.o" "gcc" "tests/CMakeFiles/gpumc_tests.dir/cross_validation_test.cpp.o.d"
+  "/root/repo/tests/explicit_checker_test.cpp" "tests/CMakeFiles/gpumc_tests.dir/explicit_checker_test.cpp.o" "gcc" "tests/CMakeFiles/gpumc_tests.dir/explicit_checker_test.cpp.o.d"
+  "/root/repo/tests/generator_test.cpp" "tests/CMakeFiles/gpumc_tests.dir/generator_test.cpp.o" "gcc" "tests/CMakeFiles/gpumc_tests.dir/generator_test.cpp.o.d"
+  "/root/repo/tests/kernels_test.cpp" "tests/CMakeFiles/gpumc_tests.dir/kernels_test.cpp.o" "gcc" "tests/CMakeFiles/gpumc_tests.dir/kernels_test.cpp.o.d"
+  "/root/repo/tests/litmus_parser_test.cpp" "tests/CMakeFiles/gpumc_tests.dir/litmus_parser_test.cpp.o" "gcc" "tests/CMakeFiles/gpumc_tests.dir/litmus_parser_test.cpp.o.d"
+  "/root/repo/tests/program_test.cpp" "tests/CMakeFiles/gpumc_tests.dir/program_test.cpp.o" "gcc" "tests/CMakeFiles/gpumc_tests.dir/program_test.cpp.o.d"
+  "/root/repo/tests/random_differential_test.cpp" "tests/CMakeFiles/gpumc_tests.dir/random_differential_test.cpp.o" "gcc" "tests/CMakeFiles/gpumc_tests.dir/random_differential_test.cpp.o.d"
+  "/root/repo/tests/relation_analysis_test.cpp" "tests/CMakeFiles/gpumc_tests.dir/relation_analysis_test.cpp.o" "gcc" "tests/CMakeFiles/gpumc_tests.dir/relation_analysis_test.cpp.o.d"
+  "/root/repo/tests/sat_solver_test.cpp" "tests/CMakeFiles/gpumc_tests.dir/sat_solver_test.cpp.o" "gcc" "tests/CMakeFiles/gpumc_tests.dir/sat_solver_test.cpp.o.d"
+  "/root/repo/tests/smoke_test.cpp" "tests/CMakeFiles/gpumc_tests.dir/smoke_test.cpp.o" "gcc" "tests/CMakeFiles/gpumc_tests.dir/smoke_test.cpp.o.d"
+  "/root/repo/tests/smt_circuit_test.cpp" "tests/CMakeFiles/gpumc_tests.dir/smt_circuit_test.cpp.o" "gcc" "tests/CMakeFiles/gpumc_tests.dir/smt_circuit_test.cpp.o.d"
+  "/root/repo/tests/smt_differential_test.cpp" "tests/CMakeFiles/gpumc_tests.dir/smt_differential_test.cpp.o" "gcc" "tests/CMakeFiles/gpumc_tests.dir/smt_differential_test.cpp.o.d"
+  "/root/repo/tests/spirv_test.cpp" "tests/CMakeFiles/gpumc_tests.dir/spirv_test.cpp.o" "gcc" "tests/CMakeFiles/gpumc_tests.dir/spirv_test.cpp.o.d"
+  "/root/repo/tests/support_test.cpp" "tests/CMakeFiles/gpumc_tests.dir/support_test.cpp.o" "gcc" "tests/CMakeFiles/gpumc_tests.dir/support_test.cpp.o.d"
+  "/root/repo/tests/verifier_test.cpp" "tests/CMakeFiles/gpumc_tests.dir/verifier_test.cpp.o" "gcc" "tests/CMakeFiles/gpumc_tests.dir/verifier_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/smt/CMakeFiles/gpumc_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gpumc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/explicit/CMakeFiles/gpumc_explicit.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/gpumc_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpuverify/CMakeFiles/gpumc_gpuverify.dir/DependInfo.cmake"
+  "/root/repo/build/src/spirv/CMakeFiles/gpumc_spirv.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/gpumc_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/encoder/CMakeFiles/gpumc_encoder.dir/DependInfo.cmake"
+  "/root/repo/build/src/cat/CMakeFiles/gpumc_cat.dir/DependInfo.cmake"
+  "/root/repo/build/src/litmus/CMakeFiles/gpumc_litmus.dir/DependInfo.cmake"
+  "/root/repo/build/src/program/CMakeFiles/gpumc_program.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gpumc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

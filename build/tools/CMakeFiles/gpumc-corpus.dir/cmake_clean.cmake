@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpumc-corpus.dir/gpumc_corpus_main.cpp.o"
+  "CMakeFiles/gpumc-corpus.dir/gpumc_corpus_main.cpp.o.d"
+  "gpumc-corpus"
+  "gpumc-corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpumc-corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

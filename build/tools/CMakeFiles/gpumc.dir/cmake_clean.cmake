@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpumc.dir/gpumc_main.cpp.o"
+  "CMakeFiles/gpumc.dir/gpumc_main.cpp.o.d"
+  "gpumc"
+  "gpumc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpumc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_safety "/root/repo/build/tools/gpumc" "/root/repo/litmus/ptx/basic/mp-weak.litmus" "/root/repo/cat/ptx-v6.0.cat")
+set_tests_properties(cli_safety PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_drf "/root/repo/build/tools/gpumc" "/root/repo/litmus/vulkan/basic/mp-rel-acq.litmus" "/root/repo/cat/vulkan.cat" "--property=cat_spec")
+set_tests_properties(cli_drf PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_liveness "/root/repo/build/tools/gpumc" "/root/repo/litmus/progress/spin-flag-set-vk.litmus" "/root/repo/cat/vulkan.cat" "--property=liveness")
+set_tests_properties(cli_liveness PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_spirv "/root/repo/build/tools/gpumc" "/root/repo/litmus/spirv/mp-relaxed.spvasm" "/root/repo/cat/vulkan.cat")
+set_tests_properties(cli_spirv PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;21;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_explicit "/root/repo/build/tools/gpumc" "/root/repo/litmus/ptx/basic/sb-weak.litmus" "/root/repo/cat/ptx-v6.0.cat" "--explicit")
+set_tests_properties(cli_explicit PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;24;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_corpus "/root/repo/build/tools/gpumc-corpus" "/root/repo/litmus/ptx/basic")
+set_tests_properties(cli_corpus PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;27;add_test;/root/repo/tools/CMakeLists.txt;0;")
