@@ -1,0 +1,50 @@
+#include "core/batch_verifier.hpp"
+
+#include <mutex>
+
+#include "support/diagnostics.hpp"
+#include "support/thread_pool.hpp"
+
+namespace gpumc::core {
+
+BatchVerifier::BatchVerifier(unsigned jobs)
+    : jobs_(jobs == 0 ? defaultConcurrency() : jobs)
+{
+}
+
+std::vector<BatchEntry>
+BatchVerifier::run(const std::vector<BatchJob> &batch,
+                   const ProgressFn &onDone) const
+{
+    std::vector<BatchEntry> entries(batch.size());
+    std::mutex progressMutex;
+
+    parallelFor(
+        static_cast<int64_t>(batch.size()), jobs_, [&](int64_t i) {
+            const BatchJob &job = batch[static_cast<size_t>(i)];
+            BatchEntry &entry = entries[static_cast<size_t>(i)];
+            entry.label = job.label;
+            GPUMC_ASSERT(job.program && job.model,
+                         "BatchJob without program/model");
+            try {
+                Verifier verifier(*job.program, *job.model, job.options);
+                entry.result = verifier.check(job.property);
+            } catch (const FatalError &error) {
+                entry.failed = true;
+                entry.error = error.what();
+            } catch (const std::exception &error) {
+                // Anything else (e.g. bad_alloc on a huge encoding) is
+                // still confined to this query, not the whole batch.
+                entry.failed = true;
+                entry.error = error.what();
+            }
+            if (onDone) {
+                std::lock_guard<std::mutex> lock(progressMutex);
+                onDone(static_cast<size_t>(i), entry);
+            }
+        });
+
+    return entries;
+}
+
+} // namespace gpumc::core

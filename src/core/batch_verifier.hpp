@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Batch verification engine: fans a vector of independent
+ * (program, model, property) queries out across worker threads and
+ * collects the results in input order.
+ *
+ * Each query builds its own Verifier::Session — its own unrolling,
+ * analysis and solver instance — so queries share no mutable state
+ * and the fan-out is embarrassingly parallel. Inputs (programs and
+ * models) are only read; CatModel is immutable after construction and
+ * safe to share across workers (verified: no mutable members, and the
+ * only statics behind it — cat::Vocabulary::gpu() and the analysis
+ * init-placement constant — are const with thread-safe magic-static
+ * initialization).
+ *
+ * Determinism: results land in a pre-sized slot per job, so the
+ * returned vector order (and every verdict in it) is identical for
+ * any worker count.
+ */
+
+#ifndef GPUMC_CORE_BATCH_VERIFIER_HPP
+#define GPUMC_CORE_BATCH_VERIFIER_HPP
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/verifier.hpp"
+
+namespace gpumc::core {
+
+/** One verification query. Pointees must outlive the run() call. */
+struct BatchJob {
+    const prog::Program *program = nullptr;
+    const cat::CatModel *model = nullptr;
+    Property property = Property::Safety;
+    VerifierOptions options;
+    /** Free-form tag echoed into the matching BatchEntry (e.g. the
+     *  source file plus model name); not interpreted. */
+    std::string label;
+};
+
+/** Outcome of one BatchJob, at the same index as its job. */
+struct BatchEntry {
+    std::string label;
+    VerificationResult result;
+    /** The verifier threw (malformed program, internal limit, ...);
+     *  `result` is default-constructed and `error` holds the message. */
+    bool failed = false;
+    std::string error;
+};
+
+class BatchVerifier {
+  public:
+    /** @param jobs worker threads; 0 = hardware concurrency. */
+    explicit BatchVerifier(unsigned jobs = 0);
+
+    unsigned jobs() const { return jobs_; }
+
+    /**
+     * Called after each query completes, with its input index.
+     * Invocations are serialized (safe to print from) but arrive in
+     * completion order, not input order.
+     */
+    using ProgressFn =
+        std::function<void(size_t index, const BatchEntry &entry)>;
+
+    /** Run every job; entry i corresponds to jobs[i]. */
+    std::vector<BatchEntry> run(const std::vector<BatchJob> &batch,
+                                const ProgressFn &onDone = nullptr) const;
+
+  private:
+    unsigned jobs_;
+};
+
+} // namespace gpumc::core
+
+#endif // GPUMC_CORE_BATCH_VERIFIER_HPP

@@ -15,19 +15,37 @@ Verifier::Verifier(const prog::Program &program, const cat::CatModel &model,
 }
 
 struct Verifier::Session {
+    /** Elapsed-and-restart: closes the current timing phase. */
+    static double takePhase(Stopwatch &watch)
+    {
+        double ms = watch.elapsedMs();
+        watch.restart();
+        return ms;
+    }
+
+    // Members run in declaration order, so the interleaved `*Ms`
+    // members fence off the pipeline phases of the paper's Fig. 4:
+    // unroll -> (exec + relation) analysis -> encode -> solve.
+    Stopwatch phaseWatch;
     prog::UnrolledProgram up;
+    double unrollMs;
     analysis::ExecAnalysis exec;
     analysis::RelationAnalysis ra;
+    double analysisMs;
     std::unique_ptr<smt::Backend> backend;
     smt::Circuit circuit;
     encoder::ProgramEncoder pe;
     encoder::RelationEncoder re;
+    double encodeMs = 0;
+    double solveMs = 0;
 
     Session(const prog::Program &program, const cat::CatModel &model,
             const VerifierOptions &options)
         : up(prog::unroll(program, options.bound)),
+          unrollMs(takePhase(phaseWatch)),
           exec(up),
           ra(exec, model),
+          analysisMs(takePhase(phaseWatch)),
           backend(smt::makeBackend(options.backend)),
           circuit(*backend),
           pe(ra, circuit,
@@ -42,6 +60,21 @@ struct Verifier::Session {
     {
         pe.encodeStructure();
         re.assertAxioms();
+        encodeMs = takePhase(phaseWatch);
+    }
+
+    /** Stamp phase timings and solver statistics into @p result. */
+    void exportStats(VerificationResult &result) const
+    {
+        auto us = [](double ms) {
+            return static_cast<int64_t>(ms * 1000.0 + 0.5);
+        };
+        result.stats.set("phaseUnrollUs", us(unrollMs));
+        result.stats.set("phaseAnalysisUs", us(analysisMs));
+        result.stats.set("phaseEncodeUs", us(encodeMs));
+        result.stats.set("phaseSolveUs", us(solveMs));
+        for (const auto &[key, value] : backend->statistics())
+            result.stats.set("solver." + key, value);
     }
 
     /** Forbid reaching the given class of kill nodes. */
@@ -114,6 +147,8 @@ Verifier::run(Property property)
         if (flags.empty()) {
             result.holds = true;
             result.detail = "model has no flagged axioms";
+            s.encodeMs += Session::takePhase(s.phaseWatch);
+            s.exportStats(result);
             result.timeMs = timer.elapsedMs();
             return result;
         }
@@ -169,12 +204,17 @@ Verifier::run(Property property)
     result.stats.set("smtVars", s.backend->numVars());
     result.stats.set("smtClauses", s.backend->numClauses());
 
+    // The property-specific encoding above is part of the encode phase.
+    s.encodeMs += Session::takePhase(s.phaseWatch);
+
     if (options_.solverTimeoutMs > 0)
         s.backend->setTimeLimitMs(options_.solverTimeoutMs);
     smt::SolveResult solveResult = s.backend->solve();
+    s.solveMs = Session::takePhase(s.phaseWatch);
     if (solveResult == smt::SolveResult::Unknown) {
         result.unknown = true;
         result.detail = "solver resource limit exhausted";
+        s.exportStats(result);
         result.timeMs = timer.elapsedMs();
         return result;
     }
@@ -242,6 +282,7 @@ Verifier::run(Property property)
         result.witness = std::move(witness);
     }
 
+    s.exportStats(result);
     result.timeMs = timer.elapsedMs();
     return result;
 }

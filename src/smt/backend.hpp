@@ -11,6 +11,7 @@
 #define GPUMC_SMT_BACKEND_HPP
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -58,6 +59,19 @@ class Backend {
 
     /** Human-readable backend name for reports. */
     virtual std::string name() const = 0;
+
+    /**
+     * Search statistics accumulated by solve() calls so far, as
+     * backend-defined named counters. Both shipped backends report at
+     * least `solveCalls`; the builtin CDCL solver additionally reports
+     * `conflicts`, `decisions`, `propagations`, `restarts`,
+     * `learnedClauses` and `removedClauses`, and Z3 whatever its
+     * native statistics expose (keys normalized to snake-ish form).
+     */
+    virtual std::map<std::string, int64_t> statistics() const
+    {
+        return {};
+    }
 };
 
 /** Which backend a verification run should use. */

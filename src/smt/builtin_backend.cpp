@@ -27,6 +27,7 @@ BuiltinBackend::addClause(const std::vector<Lit> &clause)
 SolveResult
 BuiltinBackend::solve(const std::vector<Lit> &assumptions)
 {
+    solveCalls_++;
     if (unsat_)
         return SolveResult::Unsat;
     std::vector<sat::Lit> assumps;
@@ -41,6 +42,22 @@ BuiltinBackend::solve(const std::vector<Lit> &assumptions)
       default:
         return SolveResult::Unknown;
     }
+}
+
+std::map<std::string, int64_t>
+BuiltinBackend::statistics() const
+{
+    const sat::SolverStats &st = solver_.stats();
+    auto count = [](uint64_t v) { return static_cast<int64_t>(v); };
+    return {
+        {"solveCalls", solveCalls_},
+        {"conflicts", count(st.conflicts)},
+        {"decisions", count(st.decisions)},
+        {"propagations", count(st.propagations)},
+        {"restarts", count(st.restarts)},
+        {"learnedClauses", count(st.learnedClauses)},
+        {"removedClauses", count(st.removedClauses)},
+    };
 }
 
 TruthValue

@@ -24,6 +24,7 @@ class BuiltinBackend : public Backend {
     int64_t numVars() const override { return solver_.numVars(); }
     int64_t numClauses() const override { return numClauses_; }
     std::string name() const override { return "builtin-cdcl"; }
+    std::map<std::string, int64_t> statistics() const override;
 
     const sat::SolverStats &stats() const { return solver_.stats(); }
 
@@ -35,6 +36,7 @@ class BuiltinBackend : public Backend {
 
     sat::Solver solver_;
     int64_t numClauses_ = 0;
+    int64_t solveCalls_ = 0;
     bool unsat_ = false;
 };
 

@@ -12,6 +12,7 @@ struct Z3Backend::Impl {
     std::vector<z3::expr> vars;
     std::unique_ptr<z3::model> model;
     int64_t clauseCount = 0;
+    int64_t solveCalls = 0;
 
     Impl() : solver(ctx) {}
 
@@ -54,6 +55,7 @@ Z3Backend::addClause(const std::vector<Lit> &clause)
 SolveResult
 Z3Backend::solve(const std::vector<Lit> &assumptions)
 {
+    impl_->solveCalls++;
     z3::expr_vector assumps(impl_->ctx);
     for (Lit l : assumptions)
         assumps.push_back(impl_->literal(l));
@@ -99,6 +101,26 @@ int64_t
 Z3Backend::numClauses() const
 {
     return impl_->clauseCount;
+}
+
+std::map<std::string, int64_t>
+Z3Backend::statistics() const
+{
+    std::map<std::string, int64_t> out;
+    out["solveCalls"] = impl_->solveCalls;
+    z3::stats stats = impl_->solver.statistics();
+    for (unsigned i = 0; i < stats.size(); ++i) {
+        std::string key = stats.key(i);
+        for (char &c : key) {
+            if (c == ' ' || c == '-')
+                c = '_';
+        }
+        int64_t value = stats.is_uint(i)
+                            ? static_cast<int64_t>(stats.uint_value(i))
+                            : static_cast<int64_t>(stats.double_value(i));
+        out[key] = value;
+    }
+    return out;
 }
 
 } // namespace gpumc::smt

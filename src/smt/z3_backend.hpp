@@ -26,6 +26,7 @@ class Z3Backend : public Backend {
     int64_t numVars() const override;
     int64_t numClauses() const override;
     std::string name() const override { return "z3"; }
+    std::map<std::string, int64_t> statistics() const override;
 
   private:
     struct Impl; // hides z3++.h from the rest of the codebase

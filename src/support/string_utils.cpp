@@ -1,6 +1,7 @@
 #include "support/string_utils.hpp"
 
 #include <cctype>
+#include <charconv>
 
 namespace gpumc {
 
@@ -97,6 +98,18 @@ isInteger(std::string_view s)
             return false;
     }
     return true;
+}
+
+std::optional<int64_t>
+parseInt(std::string_view s)
+{
+    if (!isInteger(s))
+        return std::nullopt;
+    int64_t value = 0;
+    auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+    if (ec != std::errc() || ptr != s.data() + s.size())
+        return std::nullopt;
+    return value;
 }
 
 } // namespace gpumc

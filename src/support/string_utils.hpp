@@ -6,6 +6,8 @@
 #ifndef GPUMC_SUPPORT_STRING_UTILS_HPP
 #define GPUMC_SUPPORT_STRING_UTILS_HPP
 
+#include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -33,6 +35,13 @@ std::string toLower(std::string_view s);
 
 /** True if @p s is a non-empty decimal integer with optional leading '-'. */
 bool isInteger(std::string_view s);
+
+/**
+ * Parse a whole string as a decimal integer (optional leading '-').
+ * Returns nullopt on empty input, trailing garbage or overflow — the
+ * safe alternative to std::stoi for CLI flags and litmus metadata.
+ */
+std::optional<int64_t> parseInt(std::string_view s);
 
 } // namespace gpumc
 

@@ -1,0 +1,122 @@
+#include "support/thread_pool.hpp"
+
+#include <atomic>
+#include <exception>
+
+namespace gpumc {
+
+unsigned
+defaultConcurrency()
+{
+    unsigned n = std::thread::hardware_concurrency();
+    return n > 0 ? n : 1;
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = defaultConcurrency();
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(task));
+    }
+    wake_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        wake_.wait(lock,
+                   [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) // stopping_ and drained
+            return;
+        std::function<void()> task = std::move(queue_.front());
+        queue_.pop_front();
+        active_++;
+        lock.unlock();
+        task();
+        lock.lock();
+        active_--;
+        if (queue_.empty() && active_ == 0)
+            idle_.notify_all();
+    }
+}
+
+void
+parallelFor(int64_t n, unsigned threads,
+            const std::function<void(int64_t)> &body)
+{
+    if (n <= 0)
+        return;
+    if (threads == 0)
+        threads = defaultConcurrency();
+    if (threads > n)
+        threads = static_cast<unsigned>(n);
+
+    if (threads <= 1) {
+        for (int64_t i = 0; i < n; ++i)
+            body(i);
+        return;
+    }
+
+    std::atomic<int64_t> next{0};
+    std::exception_ptr firstError;
+    std::mutex errorMutex;
+    std::atomic<bool> failed{false};
+
+    auto worker = [&] {
+        for (;;) {
+            int64_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n || failed.load(std::memory_order_relaxed))
+                return;
+            try {
+                body(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(errorMutex);
+                if (!firstError)
+                    firstError = std::current_exception();
+                failed.store(true, std::memory_order_relaxed);
+                return;
+            }
+        }
+    };
+
+    {
+        ThreadPool pool(threads);
+        for (unsigned t = 0; t < threads; ++t)
+            pool.submit(worker);
+        pool.wait();
+    }
+    if (firstError)
+        std::rethrow_exception(firstError);
+}
+
+} // namespace gpumc

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Minimal work-queue thread pool and a parallel-for built on top of it.
+ * No external dependencies — plain std::thread + condition variables —
+ * so it is usable from every layer (tools, bench, core).
+ *
+ * Verification queries are embarrassingly parallel (each owns its
+ * solver and encoding session), so this is deliberately simple: a
+ * fixed set of workers draining one FIFO queue. Determinism is the
+ * caller's job — parallelFor hands out indices, the caller writes
+ * results into pre-sized slots.
+ */
+
+#ifndef GPUMC_SUPPORT_THREAD_POOL_HPP
+#define GPUMC_SUPPORT_THREAD_POOL_HPP
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gpumc {
+
+/**
+ * Worker count used when a caller asks for "auto" (0) parallelism:
+ * std::thread::hardware_concurrency(), or 1 if that is unknown.
+ */
+unsigned defaultConcurrency();
+
+/** Fixed-size pool of workers draining a FIFO task queue. */
+class ThreadPool {
+  public:
+    /** @param threads worker count; 0 = defaultConcurrency(). */
+    explicit ThreadPool(unsigned threads = 0);
+
+    /** Joins all workers; pending tasks are still executed. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+    /**
+     * Enqueue a task. Tasks must not throw — wrap bodies that can
+     * (parallelFor does this for its callers).
+     */
+    void submit(std::function<void()> task);
+
+    /** Block until the queue is empty and every worker is idle. */
+    void wait();
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::condition_variable idle_;
+    size_t active_ = 0;
+    bool stopping_ = false;
+};
+
+/**
+ * Run body(i) for every i in [0, n), spread over @p threads workers
+ * (0 = defaultConcurrency()). With one worker (or n <= 1) the body
+ * runs inline on the calling thread in index order.
+ *
+ * Exceptions thrown by the body are caught; after all indices finish
+ * or are abandoned, the first exception (by completion time) is
+ * rethrown on the calling thread. Once an exception is pending,
+ * not-yet-started indices are skipped.
+ */
+void parallelFor(int64_t n, unsigned threads,
+                 const std::function<void(int64_t)> &body);
+
+} // namespace gpumc
+
+#endif // GPUMC_SUPPORT_THREAD_POOL_HPP

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * core::BatchVerifier: parallel fan-out must be observationally
+ * identical to sequential execution (same verdicts, same order), and
+ * every result must carry per-phase timings and solver statistics for
+ * both backends.
+ */
+
+#include <deque>
+#include <filesystem>
+#include <gtest/gtest.h>
+
+#include "core/batch_verifier.hpp"
+#include "tests/test_util.hpp"
+
+namespace gpumc::test {
+namespace {
+
+namespace fs = std::filesystem;
+
+/** A mixed corpus slice: PTX + Vulkan + progress (liveness) tests. */
+std::vector<std::string>
+mixedCorpusFiles()
+{
+    std::vector<std::string> out;
+    for (const char *sub : {"/ptx/basic", "/progress"}) {
+        for (const auto &entry : fs::recursive_directory_iterator(
+                 std::string(GPUMC_LITMUS_DIR) + sub)) {
+            if (entry.is_regular_file() &&
+                entry.path().extension() == ".litmus") {
+                out.push_back(entry.path().string());
+            }
+        }
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+/**
+ * Expand the corpus slice into one safety/liveness query per file and
+ * applicable model, mirroring the corpus runner's expansion.
+ */
+std::vector<core::BatchJob>
+buildJobs(std::deque<prog::Program> &programs)
+{
+    std::vector<core::BatchJob> jobs;
+    core::VerifierOptions options;
+    options.wantWitness = false;
+    for (const std::string &file : mixedCorpusFiles()) {
+        programs.push_back(litmus::parseLitmusFile(file));
+        const prog::Program &program = programs.back();
+        core::BatchJob job;
+        job.program = &program;
+        job.model = &modelFor(program);
+        job.options = options;
+        job.property = program.meta.count("liveness")
+                           ? core::Property::Liveness
+                           : core::Property::Safety;
+        job.label = file;
+        jobs.push_back(job);
+    }
+    return jobs;
+}
+
+std::string
+fingerprint(const std::vector<core::BatchEntry> &entries)
+{
+    std::string out;
+    for (const core::BatchEntry &entry : entries) {
+        out += entry.label;
+        out += '|';
+        out += entry.failed ? "error:" + entry.error
+               : entry.result.unknown
+                   ? std::string("unknown")
+                   : std::string(entry.result.holds ? "holds" : "fails");
+        out += '|';
+        out += entry.result.detail;
+        out += '\n';
+    }
+    return out;
+}
+
+TEST(BatchVerifier, ParallelMatchesSequential)
+{
+    std::deque<prog::Program> programs;
+    std::vector<core::BatchJob> jobs = buildJobs(programs);
+    ASSERT_GT(jobs.size(), 10u);
+
+    core::BatchVerifier sequential(1);
+    core::BatchVerifier parallel(4);
+    std::vector<core::BatchEntry> seqEntries = sequential.run(jobs);
+    std::vector<core::BatchEntry> parEntries = parallel.run(jobs);
+
+    ASSERT_EQ(seqEntries.size(), jobs.size());
+    ASSERT_EQ(parEntries.size(), jobs.size());
+    // Byte-identical verdicts, in input order, for any worker count.
+    EXPECT_EQ(fingerprint(seqEntries), fingerprint(parEntries));
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        EXPECT_EQ(seqEntries[i].label, jobs[i].label);
+        EXPECT_FALSE(seqEntries[i].failed) << seqEntries[i].error;
+    }
+}
+
+TEST(BatchVerifier, ProgressCallbackCoversEveryJob)
+{
+    std::deque<prog::Program> programs;
+    std::vector<core::BatchJob> jobs = buildJobs(programs);
+    jobs.resize(6);
+
+    std::vector<int> seen(jobs.size(), 0);
+    core::BatchVerifier engine(3);
+    engine.run(jobs, [&](size_t index, const core::BatchEntry &entry) {
+        ASSERT_LT(index, seen.size());
+        EXPECT_EQ(entry.label, jobs[index].label);
+        seen[index]++; // serialized by the engine
+    });
+    for (int count : seen)
+        EXPECT_EQ(count, 1);
+}
+
+class BatchStats : public ::testing::TestWithParam<smt::BackendKind> {};
+
+TEST_P(BatchStats, PhaseAndSolverStatsPopulated)
+{
+    prog::Program program = litmus::parseLitmusFile(
+        litmusPath("ptx/basic/mp-weak.litmus"));
+    core::BatchJob job;
+    job.program = &program;
+    job.model = &ptx60Model();
+    job.options.wantWitness = false;
+    job.options.backend = GetParam();
+    job.label = "mp-weak";
+
+    core::BatchVerifier engine(2);
+    std::vector<core::BatchEntry> entries = engine.run({job, job});
+    ASSERT_EQ(entries.size(), 2u);
+    for (const core::BatchEntry &entry : entries) {
+        ASSERT_FALSE(entry.failed) << entry.error;
+        const StatsRegistry &stats = entry.result.stats;
+        // Per-phase wall times: keys always present, solve > 0.
+        EXPECT_TRUE(stats.all().count("phaseUnrollUs"));
+        EXPECT_TRUE(stats.all().count("phaseAnalysisUs"));
+        EXPECT_TRUE(stats.all().count("phaseEncodeUs"));
+        EXPECT_TRUE(stats.all().count("phaseSolveUs"));
+        EXPECT_GE(stats.get("phaseEncodeUs"), 0);
+        // Solver statistics exported through smt::Backend.
+        EXPECT_EQ(stats.get("solver.solveCalls"), 1);
+        if (GetParam() == smt::BackendKind::Builtin) {
+            EXPECT_TRUE(stats.all().count("solver.conflicts"));
+            EXPECT_TRUE(stats.all().count("solver.decisions"));
+            EXPECT_TRUE(stats.all().count("solver.propagations"));
+            EXPECT_GT(stats.get("solver.decisions"), 0);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, BatchStats,
+                         ::testing::Values(smt::BackendKind::Builtin,
+                                           smt::BackendKind::Z3),
+                         [](const auto &info) {
+                             return info.param ==
+                                            smt::BackendKind::Builtin
+                                        ? "builtin"
+                                        : "z3";
+                         });
+
+TEST(BatchVerifier, MoreWorkersThanJobsIsFine)
+{
+    prog::Program program = litmus::parseLitmusFile(
+        litmusPath("ptx/basic/mp-weak.litmus"));
+    core::BatchJob job;
+    job.program = &program;
+    job.model = &ptx60Model();
+    job.options.wantWitness = false;
+    job.label = "mp-weak";
+
+    core::BatchVerifier engine(16); // clamped to the 3 queries
+    std::vector<core::BatchEntry> entries =
+        engine.run({job, job, job});
+    ASSERT_EQ(entries.size(), 3u);
+    for (const core::BatchEntry &entry : entries) {
+        ASSERT_FALSE(entry.failed) << entry.error;
+        EXPECT_TRUE(entry.result.holds); // exists: stale read reachable
+        EXPECT_FALSE(entry.result.unknown);
+    }
+    EXPECT_EQ(engine.jobs(), 16u);
+}
+
+} // namespace
+} // namespace gpumc::test

@@ -9,6 +9,7 @@
 #include <filesystem>
 #include <gtest/gtest.h>
 
+#include "support/string_utils.hpp"
 #include "tests/test_util.hpp"
 
 namespace gpumc::test {
@@ -40,8 +41,12 @@ runExpectations(const prog::Program &program, const cat::CatModel &model,
     core::VerifierOptions options;
     options.validateWitness = true;
     auto it = program.meta.find("bound");
-    if (it != program.meta.end())
-        options.bound = std::stoi(it->second);
+    if (it != program.meta.end()) {
+        std::optional<int64_t> bound = parseInt(it->second);
+        ASSERT_TRUE(bound) << file << ": malformed `bound` meta value '"
+                           << it->second << "'";
+        options.bound = static_cast<int>(*bound);
+    }
 
     auto expect = [&](const std::string &key) -> std::string {
         auto m = program.meta.find(key);

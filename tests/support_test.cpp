@@ -1,14 +1,17 @@
 /**
  * @file
  * Unit tests for the support library: string helpers, stopwatch/stats,
- * diagnostics.
+ * diagnostics, thread pool / parallel-for.
  */
 
+#include <atomic>
 #include <gtest/gtest.h>
+#include <numeric>
 
 #include "support/diagnostics.hpp"
 #include "support/stats.hpp"
 #include "support/string_utils.hpp"
+#include "support/thread_pool.hpp"
 
 namespace gpumc {
 namespace {
@@ -92,6 +95,90 @@ TEST(Stats, RegistryAccumulates)
     EXPECT_EQ(stats.get("y"), 10);
     EXPECT_EQ(stats.get("missing"), 0);
     EXPECT_EQ(stats.all().size(), 2u);
+}
+
+TEST(StringUtils, ParseInt)
+{
+    EXPECT_EQ(parseInt("0"), 0);
+    EXPECT_EQ(parseInt("42"), 42);
+    EXPECT_EQ(parseInt("-17"), -17);
+    EXPECT_EQ(parseInt("9223372036854775807"), INT64_MAX);
+    EXPECT_FALSE(parseInt(""));
+    EXPECT_FALSE(parseInt("-"));
+    EXPECT_FALSE(parseInt("12x"));
+    EXPECT_FALSE(parseInt("x12"));
+    EXPECT_FALSE(parseInt("1 2"));
+    EXPECT_FALSE(parseInt("4.5"));
+    EXPECT_FALSE(parseInt("99999999999999999999")); // overflow
+}
+
+TEST(ThreadPool, RunsEverySubmittedTask)
+{
+    std::atomic<int> counter{0};
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4u);
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&] { counter.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(counter.load(), 100);
+
+    // The pool is reusable after wait().
+    pool.submit([&] { counter.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(counter.load(), 101);
+}
+
+TEST(ThreadPool, DefaultConcurrencyIsPositive)
+{
+    EXPECT_GE(defaultConcurrency(), 1u);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce)
+{
+    for (unsigned threads : {1u, 2u, 7u}) {
+        std::vector<std::atomic<int>> hits(257);
+        parallelFor(257, threads,
+                    [&](int64_t i) { hits[i].fetch_add(1); });
+        for (const auto &h : hits)
+            EXPECT_EQ(h.load(), 1);
+    }
+}
+
+TEST(ParallelFor, EmptyAndSingleton)
+{
+    int calls = 0;
+    parallelFor(0, 4, [&](int64_t) { calls++; });
+    EXPECT_EQ(calls, 0);
+    parallelFor(1, 4, [&](int64_t i) {
+        EXPECT_EQ(i, 0);
+        calls++;
+    });
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelFor, PropagatesTheFirstException)
+{
+    std::atomic<int> ran{0};
+    try {
+        parallelFor(64, 4, [&](int64_t i) {
+            ran.fetch_add(1);
+            if (i == 5)
+                fatal("boom at ", i);
+        });
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &error) {
+        EXPECT_STREQ(error.what(), "boom at 5");
+    }
+    // Some indices may be skipped after the failure, none run twice.
+    EXPECT_LE(ran.load(), 64);
+    EXPECT_GE(ran.load(), 1);
+}
+
+TEST(ParallelFor, SequentialFallbackIsInOrder)
+{
+    std::vector<int64_t> order;
+    parallelFor(5, 1, [&](int64_t i) { order.push_back(i); });
+    EXPECT_EQ(order, (std::vector<int64_t>{0, 1, 2, 3, 4}));
 }
 
 TEST(Stats, StopwatchAdvances)

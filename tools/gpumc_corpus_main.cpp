@@ -5,28 +5,132 @@
  * CLI counterpart of the corpus regression suite.
  *
  *   gpumc-corpus <directory> [--bound=N] [--backend=z3|builtin]
+ *                [--jobs=N] [--timeout=MS] [--json[=FILE]]
+ *
+ * Queries (one per file x model x property expectation) are fanned out
+ * across worker threads by core::BatchVerifier; results are reported
+ * in deterministic input order regardless of --jobs. Verdicts:
+ *   ok      verifier result matches the @expect directive
+ *   FAIL    verifier result contradicts the directive
+ *   UNKN    solver hit its resource budget — no verdict, not a FAIL
+ *   ERROR   the file could not be parsed / verified
  */
 
+#include <cstring>
+#include <deque>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <vector>
 
 #include "cat/model.hpp"
-#include "core/verifier.hpp"
+#include "core/batch_verifier.hpp"
 #include "litmus/litmus_parser.hpp"
+#include "support/stats.hpp"
 #include "support/string_utils.hpp"
+#include "support/thread_pool.hpp"
 
 using namespace gpumc;
 namespace fs = std::filesystem;
 
 namespace {
 
-struct Totals {
-    int checks = 0;
-    int passed = 0;
-    int skipped = 0;
-    double ms = 0;
+struct CliOptions {
+    std::string dir;
+    core::VerifierOptions verifier;
+    unsigned jobs = 0; // 0 = hardware concurrency
+    bool jsonToStdout = false;
+    std::string jsonPath;
 };
+
+/** One expectation check, pointing at its BatchJob/BatchEntry index. */
+struct Query {
+    std::string kind;     // "safety" | "live" | "drf"
+    std::string modelTag; // "v60" | "v75" | "vulkan"
+    bool expectedHolds = false;
+    std::string expectedText; // the raw @expect value, for reports
+};
+
+/** Per-file report: either an error, or a slice of the query list. */
+struct FileReport {
+    std::string file;
+    std::string error;       // non-empty: parsing/metadata failed
+    size_t firstQuery = 0;   // index into the flat query/job vectors
+    size_t numQueries = 0;
+    int runsWithoutExpectations = 0;
+};
+
+[[noreturn]] void
+usage()
+{
+    std::cerr
+        << "usage: gpumc-corpus <directory> [options]\n"
+           "  --bound=N     loop unroll bound (overridden by a test's "
+           "`bound` meta key)\n"
+           "  --backend=z3|builtin   (default: builtin)\n"
+           "  --jobs=N      worker threads (default: hardware "
+           "concurrency; 1 = sequential)\n"
+           "  --timeout=MS  solver budget per query; exhausted queries "
+           "report UNKN\n"
+           "  --json[=FILE] machine-readable report to stdout (sole "
+           "output) or FILE\n";
+    std::exit(2);
+}
+
+/** Guarded replacement for std::stoi on CLI flag values. */
+int64_t
+cliInt(const std::string &flag, const std::string &value, int64_t min,
+       int64_t max)
+{
+    std::optional<int64_t> parsed = parseInt(value);
+    if (!parsed || *parsed < min || *parsed > max) {
+        std::cerr << "gpumc-corpus: invalid value '" << value
+                  << "' for " << flag << " (expected integer in ["
+                  << min << ", " << max << "])\n";
+        std::exit(2);
+    }
+    return *parsed;
+}
+
+CliOptions
+parseArgs(int argc, char **argv)
+{
+    if (argc < 2)
+        usage();
+    CliOptions opts;
+    opts.dir = argv[1];
+    if (startsWith(opts.dir, "--"))
+        usage();
+    for (int i = 2; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (startsWith(arg, "--bound=")) {
+            opts.verifier.bound = static_cast<int>(
+                cliInt("--bound", arg.substr(8), 0, 64));
+        } else if (startsWith(arg, "--jobs=")) {
+            opts.jobs = static_cast<unsigned>(
+                cliInt("--jobs", arg.substr(7), 1, 1024));
+        } else if (startsWith(arg, "--timeout=")) {
+            opts.verifier.solverTimeoutMs =
+                cliInt("--timeout", arg.substr(10), 0, INT64_MAX);
+        } else if (arg == "--backend=z3") {
+            opts.verifier.backend = smt::BackendKind::Z3;
+        } else if (arg == "--backend=builtin") {
+            opts.verifier.backend = smt::BackendKind::Builtin;
+        } else if (arg == "--json") {
+            opts.jsonToStdout = true;
+        } else if (startsWith(arg, "--json=")) {
+            opts.jsonPath = arg.substr(7);
+            if (opts.jsonPath.empty())
+                usage();
+        } else {
+            std::cerr << "gpumc-corpus: unknown option '" << arg
+                      << "'\n";
+            usage();
+        }
+    }
+    opts.verifier.wantWitness = false;
+    return opts;
+}
 
 std::string
 metaOr(const prog::Program &p, const std::string &key,
@@ -36,47 +140,167 @@ metaOr(const prog::Program &p, const std::string &key,
     return it == p.meta.end() ? fallback : it->second;
 }
 
+/**
+ * Expand one parsed program into expectation queries against @p model,
+ * mirroring the corpus regression suite: `safety-<tag>` overrides
+ * `safety`; `drf` only applies to models with flagged axioms.
+ */
 void
-runOne(const std::string &file, const cat::CatModel &model,
-       const std::string &modelTag, core::VerifierOptions options,
-       const prog::Program &program, Totals &totals)
+collectQueries(const prog::Program &program, const cat::CatModel &model,
+               const std::string &modelTag,
+               const core::VerifierOptions &options,
+               std::vector<Query> &queries,
+               std::vector<core::BatchJob> &batch, FileReport &report)
 {
-    auto bound = program.meta.find("bound");
-    if (bound != program.meta.end())
-        options.bound = std::stoi(bound->second);
-
-    auto verdict = [&](const std::string &kind, bool holds, bool expected,
-                       double ms) {
-        totals.checks++;
-        totals.ms += ms;
-        bool ok = holds == expected;
-        totals.passed += ok ? 1 : 0;
-        std::printf("%-6s %-9s %-10s %8.1fms  %s\n",
-                    ok ? "ok" : "FAIL", kind.c_str(), modelTag.c_str(),
-                    ms, file.c_str());
+    auto add = [&](const std::string &kind, core::Property property,
+                   bool expectedHolds, const std::string &expectedText) {
+        queries.push_back({kind, modelTag, expectedHolds, expectedText});
+        core::BatchJob job;
+        job.program = &program;
+        job.model = &model;
+        job.property = property;
+        job.options = options;
+        job.label = report.file + " [" + modelTag + "] " + kind;
+        batch.push_back(std::move(job));
+        report.numQueries++;
     };
 
     std::string safety = metaOr(program, "safety-" + modelTag,
                                 metaOr(program, "safety", ""));
-    if (!safety.empty()) {
-        core::Verifier verifier(program, model, options);
-        core::VerificationResult r = verifier.checkSafety();
-        verdict("safety", r.holds, safety == "holds", r.timeMs);
-    }
+    if (!safety.empty())
+        add("safety", core::Property::Safety, safety == "holds", safety);
     std::string liveness = metaOr(program, "liveness", "");
-    if (!liveness.empty()) {
-        core::Verifier verifier(program, model, options);
-        core::VerificationResult r = verifier.checkLiveness();
-        verdict("live", r.holds, liveness == "live", r.timeMs);
-    }
+    if (!liveness.empty())
+        add("live", core::Property::Liveness, liveness == "live",
+            liveness);
     std::string drf = metaOr(program, "drf", "");
-    if (!drf.empty() && model.hasFlaggedAxioms()) {
-        core::Verifier verifier(program, model, options);
-        core::VerificationResult r = verifier.checkCatSpec();
-        verdict("drf", r.holds, drf == "racefree", r.timeMs);
-    }
+    if (!drf.empty() && model.hasFlaggedAxioms())
+        add("drf", core::Property::CatSpec, drf == "racefree", drf);
     if (safety.empty() && liveness.empty() && drf.empty())
-        totals.skipped++;
+        report.runsWithoutExpectations++;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+struct Totals {
+    int checks = 0;
+    int passed = 0;
+    int failed = 0;
+    int unknown = 0;
+    int errors = 0;
+    int runsWithoutExpectations = 0;
+    double queryMs = 0; // summed per-query time (cpu-ish)
+};
+
+const char *
+verdictOf(const Query &query, const core::BatchEntry &entry)
+{
+    if (entry.failed)
+        return "error";
+    if (entry.result.unknown)
+        return "unknown";
+    return entry.result.holds == query.expectedHolds ? "pass" : "fail";
+}
+
+void
+writeJson(std::ostream &os, const CliOptions &opts,
+          const std::vector<FileReport> &reports,
+          const std::vector<Query> &queries,
+          const std::vector<core::BatchEntry> &entries,
+          const Totals &totals, unsigned jobs, double wallMs)
+{
+    os << "{\n";
+    os << "  \"corpus\": \"" << jsonEscape(opts.dir) << "\",\n";
+    os << "  \"backend\": \""
+       << (opts.verifier.backend == smt::BackendKind::Z3 ? "z3"
+                                                         : "builtin")
+       << "\",\n";
+    os << "  \"jobs\": " << jobs << ",\n";
+    os << "  \"queries\": [\n";
+    bool firstQuery = true;
+    for (const FileReport &report : reports) {
+        if (!report.error.empty())
+            continue;
+        for (size_t q = 0; q < report.numQueries; ++q) {
+            size_t i = report.firstQuery + q;
+            const Query &query = queries[i];
+            const core::BatchEntry &entry = entries[i];
+            os << (firstQuery ? "" : ",\n");
+            firstQuery = false;
+            os << "    {\"file\": \"" << jsonEscape(report.file)
+               << "\", \"kind\": \"" << query.kind
+               << "\", \"model\": \"" << query.modelTag
+               << "\", \"expected\": \""
+               << jsonEscape(query.expectedText)
+               << "\", \"verdict\": \"" << verdictOf(query, entry)
+               << "\"";
+            if (entry.failed) {
+                os << ", \"error\": \"" << jsonEscape(entry.error)
+                   << "\"}";
+                continue;
+            }
+            os << ", \"holds\": "
+               << (entry.result.holds ? "true" : "false")
+               << ", \"unknown\": "
+               << (entry.result.unknown ? "true" : "false")
+               << ", \"timeMs\": " << entry.result.timeMs
+               << ", \"stats\": {";
+            bool firstStat = true;
+            for (const auto &[key, value] : entry.result.stats.all()) {
+                os << (firstStat ? "" : ", ") << "\""
+                   << jsonEscape(key) << "\": " << value;
+                firstStat = false;
+            }
+            os << "}}";
+        }
+    }
+    os << "\n  ],\n";
+    os << "  \"errors\": [\n";
+    bool firstError = true;
+    for (const FileReport &report : reports) {
+        if (report.error.empty())
+            continue;
+        os << (firstError ? "" : ",\n");
+        firstError = false;
+        os << "    {\"file\": \"" << jsonEscape(report.file)
+           << "\", \"message\": \"" << jsonEscape(report.error)
+           << "\"}";
+    }
+    os << "\n  ],\n";
+    os << "  \"summary\": {\"checks\": " << totals.checks
+       << ", \"passed\": " << totals.passed
+       << ", \"failed\": " << totals.failed
+       << ", \"unknown\": " << totals.unknown
+       << ", \"errors\": " << totals.errors
+       << ", \"runsWithoutExpectations\": "
+       << totals.runsWithoutExpectations
+       << ", \"files\": " << reports.size()
+       << ", \"wallMs\": " << wallMs
+       << ", \"queryMs\": " << totals.queryMs << "}\n";
+    os << "}\n";
 }
 
 } // namespace
@@ -84,23 +308,7 @@ runOne(const std::string &file, const cat::CatModel &model,
 int
 main(int argc, char **argv)
 {
-    if (argc < 2) {
-        std::cerr << "usage: gpumc-corpus <directory> [--bound=N] "
-                     "[--backend=z3|builtin]\n";
-        return 2;
-    }
-    std::string dir = argv[1];
-    core::VerifierOptions options;
-    for (int i = 2; i < argc; ++i) {
-        std::string arg = argv[i];
-        if (startsWith(arg, "--bound="))
-            options.bound = std::stoi(arg.substr(8));
-        else if (arg == "--backend=z3")
-            options.backend = smt::BackendKind::Z3;
-        else if (arg == "--backend=builtin")
-            options.backend = smt::BackendKind::Builtin;
-    }
-    options.wantWitness = false;
+    CliOptions opts = parseArgs(argc, argv);
 
     cat::CatModel ptx60 = cat::CatModel::fromFile(
         std::string(GPUMC_CAT_DIR) + "/ptx-v6.0.cat");
@@ -110,33 +318,143 @@ main(int argc, char **argv)
         std::string(GPUMC_CAT_DIR) + "/vulkan.cat");
 
     std::vector<std::string> files;
-    for (const auto &entry : fs::recursive_directory_iterator(dir)) {
+    std::error_code listError;
+    for (const auto &entry :
+         fs::recursive_directory_iterator(opts.dir, listError)) {
         if (entry.is_regular_file() &&
             entry.path().extension() == ".litmus") {
             files.push_back(entry.path().string());
         }
     }
+    if (listError) {
+        std::cerr << "gpumc-corpus: cannot read '" << opts.dir
+                  << "': " << listError.message() << "\n";
+        return 2;
+    }
     std::sort(files.begin(), files.end());
 
-    Totals totals;
+    // Phase 1 (sequential): parse everything and build the flat query
+    // list. Programs live in a deque so BatchJob pointers stay stable.
+    std::deque<prog::Program> programs;
+    std::vector<FileReport> reports;
+    std::vector<Query> queries;
+    std::vector<core::BatchJob> batch;
     for (const std::string &file : files) {
+        FileReport report;
+        report.file = file;
+        report.firstQuery = batch.size();
         try {
             prog::Program program = litmus::parseLitmusFile(file);
-            if (program.arch == prog::Arch::Ptx) {
-                runOne(file, ptx60, "v60", options, program, totals);
-                runOne(file, ptx75, "v75", options, program, totals);
+            core::VerifierOptions options = opts.verifier;
+            auto bound = program.meta.find("bound");
+            if (bound != program.meta.end()) {
+                std::optional<int64_t> value = parseInt(bound->second);
+                if (!value || *value < 0 || *value > 64) {
+                    fatal("invalid `bound` meta value '", bound->second,
+                          "' (expected integer in [0, 64])");
+                }
+                options.bound = static_cast<int>(*value);
+            }
+            programs.push_back(std::move(program));
+            const prog::Program &p = programs.back();
+            if (p.arch == prog::Arch::Ptx) {
+                collectQueries(p, ptx60, "v60", options, queries, batch,
+                               report);
+                collectQueries(p, ptx75, "v75", options, queries, batch,
+                               report);
             } else {
-                runOne(file, vulkan, "vulkan", options, program, totals);
+                collectQueries(p, vulkan, "vulkan", options, queries,
+                               batch, report);
             }
         } catch (const FatalError &error) {
-            std::printf("ERROR  %-30s %s\n", file.c_str(), error.what());
+            report.error = error.what();
+        } catch (const std::exception &error) {
+            report.error = error.what();
+        }
+        reports.push_back(std::move(report));
+    }
+
+    // Phase 2 (parallel): fan the queries out.
+    core::BatchVerifier engine(opts.jobs);
+    Stopwatch wall;
+    std::vector<core::BatchEntry> entries = engine.run(batch);
+    double wallMs = wall.elapsedMs();
+
+    // Phase 3 (sequential): deterministic input-order reporting.
+    Totals totals;
+    bool humanOutput = !opts.jsonToStdout;
+    for (const FileReport &report : reports) {
+        if (!report.error.empty()) {
             totals.checks++;
+            totals.errors++;
+            if (humanOutput) {
+                std::printf("ERROR  %-30s %s\n", report.file.c_str(),
+                            report.error.c_str());
+            }
+            continue;
+        }
+        totals.runsWithoutExpectations +=
+            report.runsWithoutExpectations;
+        for (size_t q = 0; q < report.numQueries; ++q) {
+            size_t i = report.firstQuery + q;
+            const Query &query = queries[i];
+            const core::BatchEntry &entry = entries[i];
+            totals.checks++;
+            totals.queryMs += entry.result.timeMs;
+            const char *tag;
+            if (entry.failed) {
+                totals.errors++;
+                tag = "ERROR";
+            } else if (entry.result.unknown) {
+                totals.unknown++;
+                tag = "UNKN";
+            } else if (entry.result.holds == query.expectedHolds) {
+                totals.passed++;
+                tag = "ok";
+            } else {
+                totals.failed++;
+                tag = "FAIL";
+            }
+            if (humanOutput) {
+                std::printf("%-6s %-9s %-10s %8.1fms  %s\n", tag,
+                            query.kind.c_str(), query.modelTag.c_str(),
+                            entry.result.timeMs, report.file.c_str());
+                if (entry.failed) {
+                    std::printf("       ^ %s\n", entry.error.c_str());
+                }
+            }
         }
     }
 
-    std::printf("\n%d/%d expectation checks passed across %zu files "
-                "(%d runs without expectations), %.0f ms total\n",
-                totals.passed, totals.checks, files.size(),
-                totals.skipped, totals.ms);
-    return totals.passed == totals.checks ? 0 : 1;
+    if (humanOutput) {
+        std::printf("\n%d/%d expectation checks passed across %zu "
+                    "files (%d runs without expectations",
+                    totals.passed, totals.checks, files.size(),
+                    totals.runsWithoutExpectations);
+        if (totals.unknown > 0)
+            std::printf(", %d unknown", totals.unknown);
+        if (totals.errors > 0)
+            std::printf(", %d errors", totals.errors);
+        std::printf(")\n%.0f ms wall, %.0f ms summed over queries, "
+                    "%u worker%s\n",
+                    wallMs, totals.queryMs, engine.jobs(),
+                    engine.jobs() == 1 ? "" : "s");
+    }
+    if (opts.jsonToStdout) {
+        writeJson(std::cout, opts, reports, queries, entries, totals,
+                  engine.jobs(), wallMs);
+    } else if (!opts.jsonPath.empty()) {
+        std::ofstream out(opts.jsonPath);
+        if (!out) {
+            std::cerr << "gpumc-corpus: cannot write '" << opts.jsonPath
+                      << "'\n";
+            return 2;
+        }
+        writeJson(out, opts, reports, queries, entries, totals,
+                  engine.jobs(), wallMs);
+        std::printf("json report written to %s\n",
+                    opts.jsonPath.c_str());
+    }
+
+    return totals.failed == 0 && totals.errors == 0 ? 0 : 1;
 }

@@ -53,6 +53,21 @@ usage()
     std::exit(2);
 }
 
+/** Guarded replacement for std::stoi on CLI flag values. */
+int64_t
+cliInt(const std::string &key, const std::string &value, int64_t min,
+       int64_t max)
+{
+    std::optional<int64_t> parsed = parseInt(value);
+    if (!parsed || *parsed < min || *parsed > max) {
+        std::cerr << "gpumc: invalid value '" << value << "' for --"
+                  << key << " (expected integer in [" << min << ", "
+                  << max << "])\n";
+        usage();
+    }
+    return *parsed;
+}
+
 CliOptions
 parseArgs(int argc, char **argv)
 {
@@ -79,9 +94,11 @@ parseArgs(int argc, char **argv)
                 usage();
             }
         } else if (key == "bound") {
-            opts.verifier.bound = std::stoi(value);
+            opts.verifier.bound =
+                static_cast<int>(cliInt(key, value, 0, 64));
         } else if (key == "timeout") {
-            opts.verifier.solverTimeoutMs = std::stoll(value);
+            opts.verifier.solverTimeoutMs =
+                cliInt(key, value, 0, INT64_MAX);
         } else if (key == "backend") {
             opts.verifier.backend = value == "builtin"
                                         ? smt::BackendKind::Builtin
@@ -91,8 +108,10 @@ parseArgs(int argc, char **argv)
             if (parts.size() != 2)
                 usage();
             spirv::Grid grid;
-            grid.threadsPerWorkgroup = std::stoi(parts[0]);
-            grid.workgroups = std::stoi(parts[1]);
+            grid.threadsPerWorkgroup =
+                static_cast<int>(cliInt(key, parts[0], 1, 4096));
+            grid.workgroups =
+                static_cast<int>(cliInt(key, parts[1], 1, 4096));
             opts.grid = grid;
         } else if (key == "witness") {
             opts.printWitness = true;
@@ -180,6 +199,21 @@ main(int argc, char **argv)
                   << ", smt vars: " << result.stats.get("smtVars")
                   << ", clauses: " << result.stats.get("smtClauses")
                   << "\n"
+                  << "phases: unroll "
+                  << result.stats.get("phaseUnrollUs") / 1000.0
+                  << " ms, analysis "
+                  << result.stats.get("phaseAnalysisUs") / 1000.0
+                  << " ms, encode "
+                  << result.stats.get("phaseEncodeUs") / 1000.0
+                  << " ms, solve "
+                  << result.stats.get("phaseSolveUs") / 1000.0
+                  << " ms\n"
+                  << "solver: " << result.stats.get("solver.conflicts")
+                  << " conflicts, "
+                  << result.stats.get("solver.decisions")
+                  << " decisions, "
+                  << result.stats.get("solver.propagations")
+                  << " propagations\n"
                   << "time: " << result.timeMs << " ms\n";
 
         if (result.witness) {
