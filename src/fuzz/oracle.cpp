@@ -1,0 +1,306 @@
+#include "fuzz/oracle.hpp"
+
+#include "litmus/litmus_emitter.hpp"
+#include "litmus/litmus_parser.hpp"
+#include "support/diagnostics.hpp"
+
+namespace gpumc::fuzz {
+
+const char *
+oracleName(OracleKind kind)
+{
+    switch (kind) {
+      case OracleKind::RoundTrip: return "roundtrip";
+      case OracleKind::SmtVsExplicit: return "smt-vs-explicit";
+      case OracleKind::Z3VsBuiltin: return "z3-vs-builtin";
+      case OracleKind::BoundMono: return "bound-mono";
+    }
+    return "?";
+}
+
+const char *
+oracleVerdictName(OracleVerdict verdict)
+{
+    switch (verdict) {
+      case OracleVerdict::Agree: return "agree";
+      case OracleVerdict::Skipped: return "skip";
+      case OracleVerdict::Disagree: return "DISAGREE";
+    }
+    return "?";
+}
+
+bool
+OracleReport::anyDisagreement() const
+{
+    for (const OracleOutcome &o : outcomes) {
+        if (o.verdict == OracleVerdict::Disagree)
+            return true;
+    }
+    return false;
+}
+
+const OracleOutcome *
+OracleReport::find(OracleKind kind) const
+{
+    for (const OracleOutcome &o : outcomes) {
+        if (o.kind == kind)
+            return &o;
+    }
+    return nullptr;
+}
+
+std::string
+OracleReport::summary() const
+{
+    std::string out;
+    for (const OracleOutcome &o : outcomes) {
+        if (!out.empty())
+            out += " ";
+        out += oracleName(o.kind);
+        out += "=";
+        out += oracleVerdictName(o.verdict);
+        if (!o.detail.empty() && o.verdict != OracleVerdict::Agree)
+            out += "(" + o.detail + ")";
+    }
+    return out;
+}
+
+OracleOptions
+OracleOptions::only(OracleKind kind) const
+{
+    OracleOptions out = *this;
+    out.roundTrip = kind == OracleKind::RoundTrip;
+    out.smtVsExplicit = kind == OracleKind::SmtVsExplicit;
+    out.z3VsBuiltin = kind == OracleKind::Z3VsBuiltin;
+    out.boundMono = kind == OracleKind::BoundMono;
+    return out;
+}
+
+bool
+witnessFound(const prog::Program &program,
+             const core::VerificationResult &result)
+{
+    return program.assertKind == prog::AssertKind::Exists
+               ? result.holds
+               : !result.holds;
+}
+
+namespace {
+
+/** Skip/error screening shared by every oracle. Returns true when the
+ *  comparison can proceed on `run.result`. */
+bool
+screen(const EngineRun &run, const char *who, OracleOutcome &outcome)
+{
+    if (!run.ran) {
+        outcome.verdict = OracleVerdict::Skipped;
+        outcome.detail = std::string(who) + " not run";
+        return false;
+    }
+    if (run.failed) {
+        // Engine exceptions are surfaced, but as skips: a crash is not
+        // a verdict disagreement, and the shrinker must not chase
+        // mutants that merely make an engine throw.
+        outcome.verdict = OracleVerdict::Skipped;
+        outcome.detail = std::string(who) + " error: " + run.error;
+        return false;
+    }
+    if (run.result.unknown) {
+        outcome.verdict = OracleVerdict::Skipped;
+        outcome.detail = std::string(who) + " exhausted solver budget";
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+OracleReport
+compareOracles(const OracleInputs &inputs, const OracleOptions &options)
+{
+    GPUMC_ASSERT(inputs.program, "compareOracles without a program");
+    const prog::Program &program = *inputs.program;
+    OracleReport report;
+
+    if (options.roundTrip) {
+        OracleOutcome o;
+        o.kind = OracleKind::RoundTrip;
+        if (!inputs.roundTripError.empty()) {
+            o.verdict = OracleVerdict::Disagree;
+            o.detail = "emit/reparse failed: " + inputs.roundTripError;
+        } else if (screen(inputs.builtinSafety, "builtin", o) &&
+                   screen(inputs.roundTripSafety, "reparsed", o)) {
+            if (inputs.builtinSafety.result.holds !=
+                inputs.roundTripSafety.result.holds) {
+                o.verdict = OracleVerdict::Disagree;
+                o.detail = std::string("original=") +
+                           (inputs.builtinSafety.result.holds ? "holds"
+                                                              : "fails") +
+                           " reparsed=" +
+                           (inputs.roundTripSafety.result.holds
+                                ? "holds"
+                                : "fails");
+            }
+        }
+        report.outcomes.push_back(std::move(o));
+    }
+
+    if (options.smtVsExplicit) {
+        OracleOutcome o;
+        o.kind = OracleKind::SmtVsExplicit;
+        if (!inputs.explicitRan) {
+            o.verdict = OracleVerdict::Skipped;
+            o.detail = "explicit checker not run";
+        } else if (!inputs.explicitResult.supported) {
+            // The silent-skip hazard: an unsupported program must be
+            // reported as SKIPPED with the reason, never as agreement.
+            o.verdict = OracleVerdict::Skipped;
+            o.detail = inputs.explicitResult.unsupportedReason;
+        } else if (inputs.explicitResult.timedOut) {
+            o.verdict = OracleVerdict::Skipped;
+            o.detail = "explicit enumeration budget exhausted";
+        } else if (screen(inputs.builtinSafety, "builtin", o)) {
+            if (inputs.explicitResult.conditionHolds !=
+                inputs.builtinSafety.result.holds) {
+                o.verdict = OracleVerdict::Disagree;
+                o.detail =
+                    std::string("explicit=") +
+                    (inputs.explicitResult.conditionHolds ? "holds"
+                                                          : "fails") +
+                    " smt=" +
+                    (inputs.builtinSafety.result.holds ? "holds"
+                                                       : "fails");
+            } else if (inputs.modelFlagged &&
+                       screen(inputs.builtinDrf, "drf", o)) {
+                bool smtRace = !inputs.builtinDrf.result.holds;
+                if (inputs.explicitResult.raceFound != smtRace) {
+                    o.verdict = OracleVerdict::Disagree;
+                    o.detail =
+                        std::string("explicit race=") +
+                        (inputs.explicitResult.raceFound ? "yes" : "no") +
+                        " smt race=" + (smtRace ? "yes" : "no");
+                }
+            }
+        }
+        report.outcomes.push_back(std::move(o));
+    }
+
+    if (options.z3VsBuiltin) {
+        OracleOutcome o;
+        o.kind = OracleKind::Z3VsBuiltin;
+        if (screen(inputs.builtinSafety, "builtin", o) &&
+            screen(inputs.z3Safety, "z3", o)) {
+            if (inputs.builtinSafety.result.holds !=
+                inputs.z3Safety.result.holds) {
+                o.verdict = OracleVerdict::Disagree;
+                o.detail =
+                    std::string("builtin[bound=") +
+                    std::to_string(options.bound) + "]=" +
+                    (inputs.builtinSafety.result.holds ? "holds"
+                                                       : "fails") +
+                    " z3[bound=" +
+                    std::to_string(options.effectiveZ3Bound()) + "]=" +
+                    (inputs.z3Safety.result.holds ? "holds" : "fails");
+            }
+        }
+        report.outcomes.push_back(std::move(o));
+    }
+
+    if (options.boundMono) {
+        OracleOutcome o;
+        o.kind = OracleKind::BoundMono;
+        if (screen(inputs.builtinSafety, "builtin", o) &&
+            screen(inputs.builtinNext, "builtin@k+1", o)) {
+            bool atK = witnessFound(program, inputs.builtinSafety.result);
+            bool atK1 = witnessFound(program, inputs.builtinNext.result);
+            if (atK && !atK1) {
+                o.verdict = OracleVerdict::Disagree;
+                o.detail = "witness at bound " +
+                           std::to_string(options.bound) +
+                           " vanished at bound " +
+                           std::to_string(options.bound + 1);
+            }
+        }
+        report.outcomes.push_back(std::move(o));
+    }
+
+    return report;
+}
+
+OracleReport
+runOracles(const prog::Program &program, const cat::CatModel &model,
+           const OracleOptions &options)
+{
+    OracleInputs inputs;
+    inputs.program = &program;
+    inputs.modelFlagged = model.hasFlaggedAxioms();
+
+    auto verify = [&](smt::BackendKind backend, int bound,
+                      core::Property property,
+                      const prog::Program &target) -> EngineRun {
+        core::VerifierOptions vo;
+        vo.backend = backend;
+        vo.bound = bound;
+        vo.validateWitness = true;
+        vo.solverTimeoutMs = options.solverTimeoutMs;
+        try {
+            core::Verifier verifier(target, model, vo);
+            return EngineRun::of(verifier.check(property));
+        } catch (const FatalError &error) {
+            return EngineRun::failure(error.what());
+        } catch (const std::exception &error) {
+            return EngineRun::failure(error.what());
+        }
+    };
+
+    bool needBuiltin =
+        options.roundTrip || options.smtVsExplicit ||
+        options.z3VsBuiltin || options.boundMono;
+    if (needBuiltin) {
+        inputs.builtinSafety =
+            verify(smt::BackendKind::Builtin, options.bound,
+                   core::Property::Safety, program);
+    }
+    if (options.z3VsBuiltin) {
+        inputs.z3Safety = verify(smt::BackendKind::Z3,
+                                 options.effectiveZ3Bound(),
+                                 core::Property::Safety, program);
+    }
+    if (options.boundMono) {
+        inputs.builtinNext =
+            verify(smt::BackendKind::Builtin, options.bound + 1,
+                   core::Property::Safety, program);
+    }
+    if (options.smtVsExplicit && inputs.modelFlagged) {
+        inputs.builtinDrf = verify(smt::BackendKind::Builtin,
+                                   options.bound, core::Property::CatSpec,
+                                   program);
+    }
+
+    prog::Program reparsed; // must outlive the verification below
+    if (options.roundTrip) {
+        try {
+            reparsed = litmus::parseLitmus(litmus::emitLitmus(program));
+            inputs.roundTripSafety =
+                verify(smt::BackendKind::Builtin, options.bound,
+                       core::Property::Safety, reparsed);
+        } catch (const FatalError &error) {
+            inputs.roundTripError = error.what();
+        } catch (const std::exception &error) {
+            inputs.roundTripError = error.what();
+        }
+    }
+
+    if (options.smtVsExplicit) {
+        expl::ExplicitOptions eo;
+        eo.maxCandidates = options.explicitMaxCandidates;
+        eo.timeoutMs = options.explicitTimeoutMs;
+        expl::ExplicitChecker checker(program, model, eo);
+        inputs.explicitResult = checker.run();
+        inputs.explicitRan = true;
+    }
+
+    return compareOracles(inputs, options);
+}
+
+} // namespace gpumc::fuzz

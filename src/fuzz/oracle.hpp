@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Differential oracle harness: runs one program through several
+ * independent engines and cross-checks the verdicts. Four oracles:
+ *
+ *  - roundtrip:       emit litmus text, reparse, same SMT verdict
+ *  - smt-vs-explicit: SMT engine vs the explicit-state enumerator
+ *                     (safety and, for flagged models, DRF). When the
+ *                     explicit checker cannot handle the program it is
+ *                     reported as SKIPPED with the reason — never
+ *                     silently counted as agreement.
+ *  - z3-vs-builtin:   the two SMT backends on identical encodings
+ *  - bound-mono:      metamorphic check — a violation witnessed at
+ *                     unroll bound k must persist at bound k+1
+ *
+ * The harness can run self-contained (runOracles, used by the shrinker
+ * and the tests) or compare results produced elsewhere (compareOracles,
+ * used by the campaign driver which fans the SMT queries out through
+ * core::BatchVerifier).
+ */
+
+#ifndef GPUMC_FUZZ_ORACLE_HPP
+#define GPUMC_FUZZ_ORACLE_HPP
+
+#include <string>
+#include <vector>
+
+#include "cat/model.hpp"
+#include "core/verifier.hpp"
+#include "explicit/explicit_checker.hpp"
+#include "program/program.hpp"
+
+namespace gpumc::fuzz {
+
+enum class OracleKind { RoundTrip, SmtVsExplicit, Z3VsBuiltin, BoundMono };
+
+const char *oracleName(OracleKind kind);
+
+enum class OracleVerdict { Agree, Skipped, Disagree };
+
+const char *oracleVerdictName(OracleVerdict verdict);
+
+struct OracleOutcome {
+    OracleKind kind = OracleKind::RoundTrip;
+    OracleVerdict verdict = OracleVerdict::Agree;
+    /** Skip reason or disagreement description. */
+    std::string detail;
+};
+
+struct OracleReport {
+    std::vector<OracleOutcome> outcomes;
+
+    bool anyDisagreement() const;
+    const OracleOutcome *find(OracleKind kind) const;
+    /** One deterministic log line, e.g.
+     *  "roundtrip=agree smt-vs-explicit=skip(compare-and-swap) ...". */
+    std::string summary() const;
+};
+
+struct OracleOptions {
+    /** Unroll bound k for every engine (bound-mono also runs k+1). */
+    int bound = 2;
+    /**
+     * Bound for the Z3 side of z3-vs-builtin; 0 = same as `bound`.
+     * Setting it lower deliberately breaks the oracle — the
+     * `--inject=bound-gap` fault used to exercise shrinking and repro
+     * emission end to end.
+     */
+    int z3Bound = 0;
+
+    bool roundTrip = true;
+    bool smtVsExplicit = true;
+    bool z3VsBuiltin = true;
+    bool boundMono = true;
+
+    uint64_t explicitMaxCandidates = 50000;
+    double explicitTimeoutMs = 3000;
+    int64_t solverTimeoutMs = 0;
+
+    int effectiveZ3Bound() const { return z3Bound > 0 ? z3Bound : bound; }
+    /** Restrict to a single oracle (shrinker predicates). */
+    OracleOptions only(OracleKind kind) const;
+};
+
+/** Outcome of one engine invocation, for compareOracles. */
+struct EngineRun {
+    bool ran = false;
+    /** The engine threw; `error` holds the message. */
+    bool failed = false;
+    std::string error;
+    core::VerificationResult result;
+
+    static EngineRun of(core::VerificationResult r)
+    {
+        EngineRun run;
+        run.ran = true;
+        run.result = std::move(r);
+        return run;
+    }
+    static EngineRun failure(std::string message)
+    {
+        EngineRun run;
+        run.ran = true;
+        run.failed = true;
+        run.error = std::move(message);
+        return run;
+    }
+};
+
+/** Everything compareOracles needs; unused slots stay ran=false. */
+struct OracleInputs {
+    const prog::Program *program = nullptr;
+    bool modelFlagged = false;
+
+    EngineRun builtinSafety;   // builtin backend, bound k
+    EngineRun z3Safety;        // z3 backend, effectiveZ3Bound()
+    EngineRun builtinNext;     // builtin backend, bound k+1
+    EngineRun builtinDrf;      // builtin backend CatSpec, bound k
+    EngineRun roundTripSafety; // builtin, bound k, on the reparsed text
+    /** Non-empty when emit/reparse itself failed. */
+    std::string roundTripError;
+
+    bool explicitRan = false;
+    expl::ExplicitResult explicitResult;
+};
+
+/** Did the quantified statement witness a behaviour? (exists: holds;
+ *  ~exists/forall: a violating behaviour was found, i.e. !holds). */
+bool witnessFound(const prog::Program &program,
+                  const core::VerificationResult &result);
+
+/** Cross-check pre-computed engine runs. */
+OracleReport compareOracles(const OracleInputs &inputs,
+                            const OracleOptions &options);
+
+/** Run every enabled engine sequentially and cross-check. */
+OracleReport runOracles(const prog::Program &program,
+                        const cat::CatModel &model,
+                        const OracleOptions &options);
+
+} // namespace gpumc::fuzz
+
+#endif // GPUMC_FUZZ_ORACLE_HPP

@@ -1,0 +1,533 @@
+#include "fuzz/random_program.hpp"
+
+#include <algorithm>
+
+#include "support/diagnostics.hpp"
+
+namespace gpumc::fuzz {
+
+using namespace prog;
+
+FuzzConfig
+FuzzConfig::basic(Arch arch)
+{
+    FuzzConfig cfg;
+    cfg.arch = arch;
+    return cfg;
+}
+
+FuzzConfig
+FuzzConfig::withControlFlow(Arch arch)
+{
+    FuzzConfig cfg = basic(arch);
+    cfg.controlFlow = true;
+    return cfg;
+}
+
+FuzzConfig
+FuzzConfig::full(Arch arch)
+{
+    FuzzConfig cfg = withControlFlow(arch);
+    cfg.maxThreads = 3;
+    cfg.maxVars = 3;
+    cfg.cas = true;
+    cfg.aliases = true;
+    cfg.barriers = true;
+    cfg.memConditions = true;
+    if (arch == Arch::Ptx) {
+        cfg.proxies = true;
+    } else {
+        cfg.storageClasses = true;
+        cfg.avvis = true;
+    }
+    return cfg;
+}
+
+uint64_t
+mixSeed(uint64_t seed, uint64_t index)
+{
+    // SplitMix64 (Steele et al.): decorrelates consecutive case ids.
+    uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (index + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+namespace {
+
+/**
+ * All randomness goes through these helpers: `rng() % n` on the
+ * standard-pinned mt19937_64 stream keeps generation byte-identical
+ * across platforms (std::uniform_int_distribution and std::shuffle
+ * leave their algorithms implementation-defined).
+ */
+class Draw {
+  public:
+    explicit Draw(std::mt19937_64 &rng) : rng_(rng) {}
+
+    int upto(int n) { return static_cast<int>(rng_() % n); }
+    int range(int lo, int hi) { return lo + upto(hi - lo + 1); }
+    bool oneIn(int n) { return upto(n) == 0; }
+
+    template <typename T> const T &pick(const std::vector<T> &v)
+    {
+        return v[upto(static_cast<int>(v.size()))];
+    }
+
+    template <typename T> void shuffle(std::vector<T> &v)
+    {
+        for (size_t i = v.size(); i > 1; --i)
+            std::swap(v[i - 1], v[upto(static_cast<int>(i))]);
+    }
+
+  private:
+    std::mt19937_64 &rng_;
+};
+
+class Generator {
+  public:
+    Generator(std::mt19937_64 &rng, const FuzzConfig &cfg)
+        : draw_(rng), cfg_(cfg)
+    {
+    }
+
+    Program generate()
+    {
+        Program p;
+        p.arch = cfg_.arch;
+        p.name = "fuzz";
+
+        makeVars(p);
+        int numThreads = draw_.range(cfg_.minThreads, cfg_.maxThreads);
+        for (int t = 0; t < numThreads; ++t)
+            p.threads.push_back(makeThread(t));
+        makeCondition(p);
+        p.validate();
+        return p;
+    }
+
+  private:
+    Draw draw_;
+    const FuzzConfig &cfg_;
+    std::vector<VarDecl> vars_;
+    int regCounter_ = 0;
+    int labelCounter_ = 0;
+    std::vector<std::pair<int, std::string>> readRegs_;
+
+    std::string freshReg() { return "r" + std::to_string(regCounter_++); }
+    std::string freshLabel()
+    {
+        return "L" + std::to_string(labelCounter_++);
+    }
+
+    const VarDecl &randomVar() { return draw_.pick(vars_); }
+
+    void makeVars(Program &p)
+    {
+        int numVars = draw_.range(cfg_.minVars, cfg_.maxVars);
+        for (int v = 0; v < numVars; ++v) {
+            VarDecl decl;
+            decl.name = "v" + std::to_string(v);
+            if (draw_.oneIn(4))
+                decl.init = draw_.range(1, 2);
+            if (cfg_.arch == Arch::Vulkan && cfg_.storageClasses &&
+                draw_.oneIn(3)) {
+                decl.storageClass = StorageClass::Sc1;
+            }
+            vars_.push_back(decl);
+        }
+        if (cfg_.aliases && draw_.oneIn(2)) {
+            VarDecl alias;
+            alias.name = "a0";
+            alias.aliasOf = vars_[0].name;
+            alias.storageClass = vars_[0].storageClass;
+            vars_.push_back(alias);
+        }
+        p.vars = vars_;
+    }
+
+    ThreadPlacement makePlacement()
+    {
+        ThreadPlacement place;
+        if (cfg_.arch == Arch::Ptx) {
+            place.cta = cfg_.splitPlacement ? draw_.upto(2) : 0;
+            if (cfg_.splitPlacement && draw_.oneIn(8))
+                place.gpu = draw_.upto(2);
+        } else {
+            place.wg = cfg_.splitPlacement ? draw_.upto(2) : 0;
+            if (cfg_.splitPlacement && draw_.oneIn(8))
+                place.qf = draw_.upto(2);
+            if (cfg_.splitPlacement && draw_.oneIn(8))
+                place.ssw = true;
+        }
+        return place;
+    }
+
+    Scope randomScope()
+    {
+        static const std::vector<Scope> ptxScopes = {Scope::Cta,
+                                                     Scope::Gpu,
+                                                     Scope::Sys};
+        static const std::vector<Scope> vkScopes = {Scope::Sg, Scope::Wg,
+                                                    Scope::Qf, Scope::Dv};
+        return draw_.pick(cfg_.arch == Arch::Ptx ? ptxScopes : vkScopes);
+    }
+
+    /** Finalize per-arch attributes of a memory access / fence. */
+    void finish(Instruction &ins)
+    {
+        if (cfg_.arch == Arch::Ptx) {
+            if (ins.isMemoryAccess())
+                ins.atomic = ins.order != MemOrder::Plain;
+        } else if (ins.isMemoryAccess()) {
+            ins.atomic = ins.order != MemOrder::Plain ||
+                         ins.op == Opcode::Rmw || draw_.oneIn(2);
+            if (ins.atomic && ins.order == MemOrder::Plain)
+                ins.order = MemOrder::Rlx;
+            if (cfg_.avvis && ins.atomic) {
+                if (ins.op == Opcode::Store && draw_.oneIn(4))
+                    ins.avFlag = true;
+                if (ins.op == Opcode::Load && draw_.oneIn(4))
+                    ins.visFlag = true;
+            }
+        }
+        if (cfg_.mixedScopes && ins.producesEvent() &&
+            ins.op != Opcode::Barrier && ins.op != Opcode::ProxyFence &&
+            ins.op != Opcode::AvDevice && ins.op != Opcode::VisDevice) {
+            ins.scope = randomScope();
+        }
+    }
+
+    Instruction makeStore(int /*thread*/)
+    {
+        static const std::vector<MemOrder> orders = {
+            MemOrder::Plain, MemOrder::Plain, MemOrder::Rlx,
+            MemOrder::Rel};
+        Instruction ins;
+        ins.op = Opcode::Store;
+        const VarDecl &var = randomVar();
+        ins.location = var.name;
+        if (cfg_.arch == Arch::Vulkan)
+            ins.storageClass = var.storageClass;
+        ins.src = Operand::makeConst(draw_.range(1, 3));
+        ins.order = draw_.pick(orders);
+        if (cfg_.arch == Arch::Ptx && cfg_.proxies && draw_.oneIn(4))
+            ins.proxy = draw_.oneIn(2) ? Proxy::Surface : Proxy::Texture;
+        finish(ins);
+        return ins;
+    }
+
+    Instruction makeLoad(int thread)
+    {
+        static const std::vector<MemOrder> orders = {
+            MemOrder::Plain, MemOrder::Plain, MemOrder::Rlx,
+            MemOrder::Acq};
+        Instruction ins;
+        ins.op = Opcode::Load;
+        const VarDecl &var = randomVar();
+        ins.location = var.name;
+        if (cfg_.arch == Arch::Vulkan)
+            ins.storageClass = var.storageClass;
+        ins.dst = freshReg();
+        ins.order = draw_.pick(orders);
+        if (cfg_.arch == Arch::Ptx && cfg_.proxies && draw_.oneIn(4)) {
+            static const std::vector<Proxy> proxies = {
+                Proxy::Surface, Proxy::Texture, Proxy::Constant};
+            ins.proxy = draw_.pick(proxies);
+            // Proxy accesses are weak in the PTX fragment we emit.
+            ins.order = MemOrder::Plain;
+        }
+        finish(ins);
+        readRegs_.push_back({thread, ins.dst});
+        return ins;
+    }
+
+    Instruction makeRmw(int thread)
+    {
+        static const std::vector<MemOrder> orders = {
+            MemOrder::Rlx, MemOrder::Acq, MemOrder::Rel,
+            MemOrder::AcqRel};
+        Instruction ins;
+        ins.op = Opcode::Rmw;
+        const VarDecl &var = randomVar();
+        ins.location = var.name;
+        if (cfg_.arch == Arch::Vulkan)
+            ins.storageClass = var.storageClass;
+        ins.dst = freshReg();
+        ins.order = draw_.pick(orders);
+        int kind = draw_.upto(cfg_.cas ? 3 : 2);
+        if (kind == 0) {
+            ins.rmwKind = RmwKind::Add;
+            ins.src = Operand::makeConst(1);
+        } else if (kind == 1) {
+            ins.rmwKind = RmwKind::Exchange;
+            ins.src = Operand::makeConst(draw_.range(1, 3));
+        } else {
+            ins.rmwKind = RmwKind::Cas;
+            ins.src = Operand::makeConst(draw_.upto(2));      // expected
+            ins.src2 = Operand::makeConst(draw_.range(1, 3)); // desired
+        }
+        finish(ins);
+        readRegs_.push_back({thread, ins.dst});
+        return ins;
+    }
+
+    Instruction makeFence()
+    {
+        Instruction ins;
+        if (cfg_.arch == Arch::Ptx && cfg_.proxies && draw_.oneIn(3)) {
+            ins.op = Opcode::ProxyFence;
+            static const std::vector<ProxyFenceKind> kinds = {
+                ProxyFenceKind::Alias, ProxyFenceKind::Texture,
+                ProxyFenceKind::Surface, ProxyFenceKind::Constant};
+            ins.proxyFence = draw_.pick(kinds);
+            ins.scope = Scope::Cta;
+            ins.atomic = true;
+            return ins;
+        }
+        ins.op = Opcode::Fence;
+        ins.atomic = true;
+        static const std::vector<MemOrder> orders = {
+            MemOrder::AcqRel, MemOrder::AcqRel, MemOrder::Acq,
+            MemOrder::Rel};
+        ins.order = draw_.pick(orders);
+        if (cfg_.arch == Arch::Ptx) {
+            if (draw_.oneIn(4))
+                ins.order = MemOrder::Sc;
+        } else {
+            ins.semSc0 = true;
+            if (cfg_.storageClasses && draw_.oneIn(2))
+                ins.semSc1 = true;
+            if (cfg_.avvis && draw_.oneIn(4))
+                ins.semAv = true;
+            if (cfg_.avvis && draw_.oneIn(4))
+                ins.semVis = true;
+        }
+        finish(ins);
+        return ins;
+    }
+
+    Instruction makeBarrier()
+    {
+        Instruction ins;
+        ins.op = Opcode::Barrier;
+        ins.barrierId = Operand::makeConst(0);
+        ins.scope = cfg_.arch == Arch::Ptx ? Scope::Cta : Scope::Wg;
+        return ins;
+    }
+
+    Instruction makeAvVis()
+    {
+        Instruction ins;
+        ins.op = draw_.oneIn(2) ? Opcode::AvDevice : Opcode::VisDevice;
+        ins.scope = Scope::Dv;
+        return ins;
+    }
+
+    /** One random straight-line instruction. */
+    Instruction makeStraightLine(int thread)
+    {
+        while (true) {
+            switch (draw_.upto(6)) {
+              case 0:
+              case 1:
+                return makeStore(thread);
+              case 2:
+              case 3:
+                return makeLoad(thread);
+              case 4:
+                if (cfg_.rmw)
+                    return makeRmw(thread);
+                break;
+              case 5:
+                if (cfg_.fences && draw_.oneIn(2))
+                    return makeFence();
+                if (cfg_.barriers && draw_.oneIn(2))
+                    return makeBarrier();
+                if (cfg_.avvis && cfg_.arch == Arch::Vulkan &&
+                    draw_.oneIn(2)) {
+                    return makeAvVis();
+                }
+                break;
+            }
+        }
+    }
+
+    /**
+     * Counted loop: runs its body exactly K times, so any value it
+     * accumulates needs K-1 backward jumps — verdicts involving those
+     * values are sensitive to the unroll bound by construction.
+     */
+    void appendCountedLoop(Thread &thread, int t)
+    {
+        int iters = draw_.range(2, std::max(2, cfg_.maxLoopIters));
+        std::string counter = freshReg();
+        std::string label = freshLabel();
+
+        Instruction init;
+        init.op = Opcode::Mov;
+        init.dst = counter;
+        init.src = Operand::makeConst(0);
+        thread.instrs.push_back(init);
+
+        Instruction head;
+        head.op = Opcode::Label;
+        head.label = label;
+        thread.instrs.push_back(head);
+
+        int bodyLen = draw_.range(1, 2);
+        for (int i = 0; i < bodyLen; ++i)
+            thread.instrs.push_back(makeStraightLine(t));
+
+        Instruction step;
+        step.op = Opcode::AddReg;
+        step.dst = counter;
+        step.branchLhs = Operand::makeReg(counter);
+        step.src = Operand::makeConst(1);
+        thread.instrs.push_back(step);
+
+        Instruction back;
+        back.op = Opcode::BranchNe;
+        back.branchLhs = Operand::makeReg(counter);
+        back.branchRhs = Operand::makeConst(iters);
+        back.label = label;
+        thread.instrs.push_back(back);
+
+        readRegs_.push_back({t, counter});
+    }
+
+    /** Spinloop: reload until the value is non-zero (Section 6.4). */
+    void appendSpinloop(Thread &thread, int t)
+    {
+        std::string label = freshLabel();
+        Instruction head;
+        head.op = Opcode::Label;
+        head.label = label;
+        thread.instrs.push_back(head);
+
+        Instruction load = makeLoad(t);
+        // Keep the spin body side-effect-free and un-proxied.
+        load.proxy = Proxy::Generic;
+        thread.instrs.push_back(load);
+
+        Instruction back;
+        back.op = Opcode::BranchEq;
+        back.branchLhs = Operand::makeReg(load.dst);
+        back.branchRhs = Operand::makeConst(0);
+        back.label = label;
+        thread.instrs.push_back(back);
+    }
+
+    /** Forward branch skipping one instruction. */
+    void appendForwardBranch(Thread &thread, int t)
+    {
+        Instruction load = makeLoad(t);
+        thread.instrs.push_back(load);
+        std::string label = freshLabel();
+
+        Instruction br;
+        br.op = draw_.oneIn(2) ? Opcode::BranchEq : Opcode::BranchNe;
+        br.branchLhs = Operand::makeReg(load.dst);
+        br.branchRhs = Operand::makeConst(draw_.upto(2));
+        br.label = label;
+        thread.instrs.push_back(br);
+
+        thread.instrs.push_back(makeStraightLine(t));
+
+        Instruction join;
+        join.op = Opcode::Label;
+        join.label = label;
+        thread.instrs.push_back(join);
+    }
+
+    Thread makeThread(int t)
+    {
+        Thread thread;
+        thread.name = "P" + std::to_string(t);
+        thread.placement = makePlacement();
+
+        int numInstrs = draw_.range(cfg_.minInstrs, cfg_.maxInstrs);
+        int cfSlot = cfg_.controlFlow && draw_.oneIn(2)
+                         ? draw_.upto(numInstrs + 1)
+                         : -1;
+        for (int i = 0; i < numInstrs; ++i) {
+            if (i == cfSlot)
+                appendControlFlow(thread, t);
+            thread.instrs.push_back(makeStraightLine(t));
+        }
+        if (cfSlot == numInstrs)
+            appendControlFlow(thread, t);
+        return thread;
+    }
+
+    void appendControlFlow(Thread &thread, int t)
+    {
+        switch (draw_.upto(3)) {
+          case 0:
+            appendCountedLoop(thread, t);
+            break;
+          case 1:
+            appendSpinloop(thread, t);
+            break;
+          default:
+            appendForwardBranch(thread, t);
+            break;
+        }
+    }
+
+    void makeCondition(Program &p)
+    {
+        CondPtr cond;
+        auto addLeaf = [&](CondPtr leaf) {
+            cond = cond ? (draw_.oneIn(2)
+                               ? Cond::mkAnd(std::move(cond),
+                                             std::move(leaf))
+                               : Cond::mkOr(std::move(cond),
+                                            std::move(leaf)))
+                        : std::move(leaf);
+        };
+
+        draw_.shuffle(readRegs_);
+        size_t terms = std::min(readRegs_.size(),
+                                static_cast<size_t>(draw_.range(1, 3)));
+        for (size_t i = 0; i < terms; ++i) {
+            addLeaf(Cond::mkCmp(
+                draw_.oneIn(2),
+                CondTerm::makeReg(readRegs_[i].first,
+                                  readRegs_[i].second),
+                CondTerm::makeConst(draw_.upto(4))));
+        }
+        if (cfg_.memConditions && draw_.oneIn(3)) {
+            addLeaf(Cond::mkCmp(draw_.oneIn(2),
+                                CondTerm::makeMem(randomVar().name),
+                                CondTerm::makeConst(draw_.upto(4))));
+        }
+        if (!cond)
+            cond = Cond::mkTrue();
+
+        int kind = draw_.upto(6);
+        p.assertKind = kind == 0   ? AssertKind::NotExists
+                       : kind <= 2 ? AssertKind::Forall
+                                   : AssertKind::Exists;
+        p.assertion = std::move(cond);
+    }
+};
+
+} // namespace
+
+Program
+randomProgram(std::mt19937_64 &rng, const FuzzConfig &config)
+{
+    return Generator(rng, config).generate();
+}
+
+Program
+randomProgram(uint64_t seed, uint64_t index, const FuzzConfig &config)
+{
+    std::mt19937_64 rng(mixSeed(seed, index));
+    Program p = randomProgram(rng, config);
+    p.name = "fuzz-" + std::to_string(index);
+    return p;
+}
+
+} // namespace gpumc::fuzz

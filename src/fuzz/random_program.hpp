@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Seeded random litmus-program generator — the input side of the
+ * differential fuzzing subsystem (the repo's analogue of the paper's
+ * Dartagnan-vs-Alloy cross validation, Section 6.3, at fuzz scale).
+ *
+ * Generation is fully deterministic: the same FuzzConfig and seed
+ * produce the same program on every platform (std::mt19937_64 output
+ * is pinned by the standard, and no unspecified distributions are
+ * used). Knobs cover threads, fences, RMW/CAS, control flow (counted
+ * loops, spinloops, forward branches), mixed scopes, PTX proxies with
+ * aliased variables, and Vulkan storage classes / av-vis operations.
+ */
+
+#ifndef GPUMC_FUZZ_RANDOM_PROGRAM_HPP
+#define GPUMC_FUZZ_RANDOM_PROGRAM_HPP
+
+#include <cstdint>
+#include <random>
+
+#include "program/program.hpp"
+
+namespace gpumc::fuzz {
+
+struct FuzzConfig {
+    prog::Arch arch = prog::Arch::Ptx;
+
+    int minThreads = 2;
+    int maxThreads = 3;
+    int minVars = 1;
+    int maxVars = 2;
+    /** Straight-line instructions per thread (control-flow constructs
+     *  add their own bookkeeping instructions on top). */
+    int minInstrs = 1;
+    int maxInstrs = 3;
+
+    bool fences = true;
+    /** Fetch-add / exchange RMWs. */
+    bool rmw = true;
+    /** Compare-and-swap RMWs (unsupported by the explicit checker —
+     *  exercises the SKIPPED reporting path). */
+    bool cas = false;
+    /**
+     * Control flow: counted loops (bound-sensitive by design),
+     * spinloops and forward branches. Programs stop being
+     * straight-line, so the explicit oracle reports SKIPPED.
+     */
+    bool controlFlow = false;
+    /** Largest iteration count of a generated counted loop (>= 2). */
+    int maxLoopIters = 3;
+
+    /** Draw per-instruction scopes from the whole hierarchy instead of
+     *  leaving everything at the architecture default. */
+    bool mixedScopes = true;
+    /** Split threads across CTAs / workgroups (and occasionally GPUs /
+     *  queue families). */
+    bool splitPlacement = true;
+
+    /** PTX: surface/texture/constant proxy accesses + proxy fences. */
+    bool proxies = false;
+    /** Extra variables aliasing v0 (same physical location). */
+    bool aliases = false;
+    /** Vulkan: sc1 variables and semsc1 fence semantics. */
+    bool storageClasses = false;
+    /** Vulkan: av/vis access flags and avdevice/visdevice ops. */
+    bool avvis = false;
+    /** Control barriers (bar.sync / cbar). */
+    bool barriers = false;
+    /** Allow final-state conditions over memory, not just registers
+     *  (PTX memory conditions are unsupported by the explicit oracle). */
+    bool memConditions = false;
+
+    /** Convenience profiles used by the CLI and the test suite. */
+    static FuzzConfig basic(prog::Arch arch);        // straight-line
+    static FuzzConfig withControlFlow(prog::Arch arch);
+    static FuzzConfig full(prog::Arch arch);         // everything on
+};
+
+/** SplitMix64 step — used to derive independent per-case seeds. */
+uint64_t mixSeed(uint64_t seed, uint64_t index);
+
+/**
+ * Generate one valid program (Program::validate() has been run).
+ * @p rng is advanced; drawing several programs from one rng is fine.
+ */
+prog::Program randomProgram(std::mt19937_64 &rng, const FuzzConfig &config);
+
+/** Generate the program for campaign case @p index of @p seed. */
+prog::Program randomProgram(uint64_t seed, uint64_t index,
+                            const FuzzConfig &config);
+
+} // namespace gpumc::fuzz
+
+#endif // GPUMC_FUZZ_RANDOM_PROGRAM_HPP

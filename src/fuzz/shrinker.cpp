@@ -1,0 +1,295 @@
+#include "fuzz/shrinker.hpp"
+
+#include "support/diagnostics.hpp"
+
+namespace gpumc::fuzz {
+
+using namespace prog;
+
+Program
+cloneProgram(const Program &program)
+{
+    Program out;
+    out.arch = program.arch;
+    out.name = program.name;
+    out.vars = program.vars;
+    out.threads = program.threads;
+    out.assertKind = program.assertKind;
+    if (program.assertion)
+        out.assertion = program.assertion->clone();
+    if (program.filter)
+        out.filter = program.filter->clone();
+    out.meta = program.meta;
+    return out;
+}
+
+int
+programSize(const Program &program)
+{
+    int size = 0;
+    for (const Thread &t : program.threads)
+        size += static_cast<int>(t.instrs.size());
+    return size;
+}
+
+namespace {
+
+/**
+ * Renumber register references after removing thread @p removed.
+ * Returns false (aborting the removal) when the condition still
+ * references the removed thread.
+ */
+bool
+renumberCondThreads(Cond *cond, int removed)
+{
+    if (!cond)
+        return true;
+    switch (cond->kind) {
+      case Cond::Kind::And:
+      case Cond::Kind::Or:
+        return renumberCondThreads(cond->lhs.get(), removed) &&
+               renumberCondThreads(cond->rhs.get(), removed);
+      case Cond::Kind::Not:
+        return renumberCondThreads(cond->lhs.get(), removed);
+      case Cond::Kind::Eq:
+      case Cond::Kind::Ne:
+        for (CondTerm *t : {&cond->tl, &cond->tr}) {
+            if (t->kind != CondTerm::Kind::Reg)
+                continue;
+            if (t->thread == removed)
+                return false;
+            if (t->thread > removed)
+                t->thread--;
+        }
+        return true;
+      case Cond::Kind::True:
+        return true;
+    }
+    return true;
+}
+
+bool
+condMentionsVar(const Cond *cond, const std::string &name)
+{
+    if (!cond)
+        return false;
+    switch (cond->kind) {
+      case Cond::Kind::And:
+      case Cond::Kind::Or:
+        return condMentionsVar(cond->lhs.get(), name) ||
+               condMentionsVar(cond->rhs.get(), name);
+      case Cond::Kind::Not:
+        return condMentionsVar(cond->lhs.get(), name);
+      case Cond::Kind::Eq:
+      case Cond::Kind::Ne:
+        for (const CondTerm *t : {&cond->tl, &cond->tr}) {
+            if (t->kind == CondTerm::Kind::Mem && t->name == name)
+                return true;
+        }
+        return false;
+      case Cond::Kind::True:
+        return false;
+    }
+    return false;
+}
+
+class Shrinker {
+  public:
+    Shrinker(const Program &program, const FailurePredicate &stillFails,
+             const ShrinkOptions &options)
+        : best_(cloneProgram(program)), stillFails_(stillFails),
+          options_(options)
+    {
+        outcome_.initialSize = programSize(program);
+    }
+
+    ShrinkOutcome run()
+    {
+        bool progress = true;
+        while (progress && !budgetExhausted()) {
+            progress = false;
+            progress |= shrinkThreads();
+            progress |= shrinkInstructions();
+            progress |= shrinkCondition();
+            progress |= shrinkVariables();
+            progress |= shrinkAttributes();
+        }
+        outcome_.program = std::move(best_);
+        outcome_.finalSize = programSize(outcome_.program);
+        return std::move(outcome_);
+    }
+
+  private:
+    Program best_;
+    const FailurePredicate &stillFails_;
+    ShrinkOptions options_;
+    ShrinkOutcome outcome_;
+
+    bool budgetExhausted() const
+    {
+        return outcome_.attempts >= options_.maxAttempts;
+    }
+
+    /** Validate + test a candidate; adopt it when it still fails. */
+    bool tryCandidate(Program candidate)
+    {
+        if (budgetExhausted())
+            return false;
+        outcome_.attempts++;
+        try {
+            candidate.validate();
+        } catch (const FatalError &) {
+            return false;
+        }
+        if (!stillFails_(candidate))
+            return false;
+        best_ = std::move(candidate);
+        outcome_.accepted++;
+        return true;
+    }
+
+    bool shrinkThreads()
+    {
+        bool progress = false;
+        for (int t = static_cast<int>(best_.threads.size()) - 1;
+             t >= 0 && best_.threads.size() > 1; --t) {
+            Program candidate = cloneProgram(best_);
+            if (!renumberCondThreads(candidate.assertion.get(), t) ||
+                !renumberCondThreads(candidate.filter.get(), t)) {
+                continue;
+            }
+            candidate.threads.erase(candidate.threads.begin() + t);
+            for (size_t i = 0; i < candidate.threads.size(); ++i)
+                candidate.threads[i].name = "P" + std::to_string(i);
+            progress |= tryCandidate(std::move(candidate));
+        }
+        return progress;
+    }
+
+    bool shrinkInstructions()
+    {
+        bool progress = false;
+        for (size_t t = 0; t < best_.threads.size(); ++t) {
+            for (int i =
+                     static_cast<int>(best_.threads[t].instrs.size()) - 1;
+                 i >= 0; --i) {
+                Program candidate = cloneProgram(best_);
+                auto &instrs = candidate.threads[t].instrs;
+                instrs.erase(instrs.begin() + i);
+                progress |= tryCandidate(std::move(candidate));
+            }
+        }
+        return progress;
+    }
+
+    bool shrinkCondition()
+    {
+        bool progress = false;
+        // Replace the assertion root by one of its children.
+        while (best_.assertion && !budgetExhausted()) {
+            const Cond &root = *best_.assertion;
+            bool stepped = false;
+            if (root.kind == Cond::Kind::And ||
+                root.kind == Cond::Kind::Or) {
+                for (const CondPtr *child : {&root.lhs, &root.rhs}) {
+                    Program candidate = cloneProgram(best_);
+                    candidate.assertion = (*child)->clone();
+                    if (tryCandidate(std::move(candidate))) {
+                        stepped = true;
+                        break;
+                    }
+                }
+            } else if (root.kind == Cond::Kind::Not) {
+                Program candidate = cloneProgram(best_);
+                candidate.assertion = root.lhs->clone();
+                stepped = tryCandidate(std::move(candidate));
+            }
+            if (!stepped)
+                break;
+            progress = true;
+        }
+        if (best_.filter) {
+            Program candidate = cloneProgram(best_);
+            candidate.filter.reset();
+            progress |= tryCandidate(std::move(candidate));
+        }
+        return progress;
+    }
+
+    bool shrinkVariables()
+    {
+        bool progress = false;
+        for (int v = static_cast<int>(best_.vars.size()) - 1;
+             v >= 0 && best_.vars.size() > 1; --v) {
+            const std::string &name = best_.vars[v].name;
+            bool used = condMentionsVar(best_.assertion.get(), name) ||
+                        condMentionsVar(best_.filter.get(), name);
+            for (const Thread &t : best_.threads) {
+                for (const Instruction &ins : t.instrs)
+                    used |= ins.isMemoryAccess() && ins.location == name;
+            }
+            for (const VarDecl &other : best_.vars)
+                used |= other.aliasOf == name;
+            if (used)
+                continue;
+            Program candidate = cloneProgram(best_);
+            candidate.vars.erase(candidate.vars.begin() + v);
+            progress |= tryCandidate(std::move(candidate));
+        }
+        return progress;
+    }
+
+    /** Attribute-level simplifications that keep the shape. */
+    bool shrinkAttributes()
+    {
+        bool progress = false;
+        // Break alias links.
+        for (size_t v = 0; v < best_.vars.size(); ++v) {
+            if (best_.vars[v].aliasOf.empty())
+                continue;
+            Program candidate = cloneProgram(best_);
+            candidate.vars[v].aliasOf.clear();
+            progress |= tryCandidate(std::move(candidate));
+        }
+        // Collapse placements onto thread 0's coordinates.
+        for (size_t t = 1; t < best_.threads.size(); ++t) {
+            const ThreadPlacement &a = best_.threads[t].placement;
+            const ThreadPlacement &base = best_.threads[0].placement;
+            if (a.cta == base.cta && a.gpu == base.gpu &&
+                a.sg == base.sg && a.wg == base.wg && a.qf == base.qf &&
+                !a.ssw) {
+                continue;
+            }
+            Program candidate = cloneProgram(best_);
+            candidate.threads[t].placement = base;
+            candidate.threads[t].placement.ssw = false;
+            progress |= tryCandidate(std::move(candidate));
+        }
+        // Lower loop trip counts (branch constants).
+        for (size_t t = 0; t < best_.threads.size(); ++t) {
+            for (size_t i = 0; i < best_.threads[t].instrs.size(); ++i) {
+                const Instruction &ins = best_.threads[t].instrs[i];
+                if (!ins.isBranch() || ins.branchRhs.isReg() ||
+                    ins.branchRhs.value <= 2) {
+                    continue;
+                }
+                Program candidate = cloneProgram(best_);
+                candidate.threads[t].instrs[i].branchRhs =
+                    Operand::makeConst(ins.branchRhs.value - 1);
+                progress |= tryCandidate(std::move(candidate));
+            }
+        }
+        return progress;
+    }
+};
+
+} // namespace
+
+ShrinkOutcome
+shrinkProgram(const Program &program, const FailurePredicate &stillFails,
+              ShrinkOptions options)
+{
+    return Shrinker(program, stillFails, options).run();
+}
+
+} // namespace gpumc::fuzz

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Delta-debugging shrinker: greedily minimizes a program while a
+ * caller-supplied failure predicate (usually "this oracle still
+ * disagrees") keeps holding. Transformations: drop whole threads
+ * (renumbering condition references), drop single instructions,
+ * simplify the final-state condition, drop the filter, remove unused
+ * variables and alias links, zero placements, and lower loop trip
+ * counts. Every candidate is re-validated before the predicate runs,
+ * so the result is always a well-formed program.
+ */
+
+#ifndef GPUMC_FUZZ_SHRINKER_HPP
+#define GPUMC_FUZZ_SHRINKER_HPP
+
+#include <functional>
+
+#include "program/program.hpp"
+
+namespace gpumc::fuzz {
+
+/** Deep copy (Program is move-only because of its condition trees). */
+prog::Program cloneProgram(const prog::Program &program);
+
+/** Total instruction count, the shrinker's size metric. */
+int programSize(const prog::Program &program);
+
+/**
+ * Returns true when the (validated) candidate still exhibits the
+ * failure being minimized. Must be deterministic.
+ */
+using FailurePredicate = std::function<bool(const prog::Program &)>;
+
+struct ShrinkOptions {
+    /** Predicate evaluation budget; shrinking is best-effort within. */
+    int maxAttempts = 400;
+};
+
+struct ShrinkOutcome {
+    prog::Program program;
+    int attempts = 0;  // predicate evaluations spent
+    int accepted = 0;  // successful shrink steps
+    int initialSize = 0;
+    int finalSize = 0;
+};
+
+/**
+ * Minimize @p program under @p stillFails. @p program itself must
+ * satisfy the predicate; the result always does.
+ */
+ShrinkOutcome shrinkProgram(const prog::Program &program,
+                            const FailurePredicate &stillFails,
+                            ShrinkOptions options = {});
+
+} // namespace gpumc::fuzz
+
+#endif // GPUMC_FUZZ_SHRINKER_HPP

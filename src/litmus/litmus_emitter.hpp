@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Litmus-text emitter: serializes any prog::Program back into the
+ * column litmus syntax accepted by parseLitmus(), for both the PTX and
+ * Vulkan dialects. The emitter is the inverse of the parsers and is
+ * exercised by round-trip tests (emit -> reparse -> same verdict); the
+ * fuzzing subsystem uses it to write shrunk `.litmus` repro files.
+ */
+
+#ifndef GPUMC_LITMUS_LITMUS_EMITTER_HPP
+#define GPUMC_LITMUS_LITMUS_EMITTER_HPP
+
+#include <string>
+
+#include "program/program.hpp"
+
+namespace gpumc::litmus {
+
+/**
+ * Serialize one instruction as a dialect cell (e.g. "ld.acquire.sys
+ * r0, x"). Labels are rendered as "name:". @throws FatalError for
+ * instructions the dialect cannot express.
+ */
+std::string emitInstruction(const prog::Instruction &ins, prog::Arch arch);
+
+/**
+ * Serialize a whole program: `@config` directives for its meta entries,
+ * header, prelude (every variable, in declaration order, so location
+ * ids survive the round trip), the thread columns and the
+ * filter/exists/forall lines. The result reparses with parseLitmus()
+ * to an equivalent program.
+ */
+std::string emitLitmus(const prog::Program &program);
+
+} // namespace gpumc::litmus
+
+#endif // GPUMC_LITMUS_LITMUS_EMITTER_HPP

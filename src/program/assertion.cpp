@@ -65,6 +65,20 @@ Cond::mkCmp(bool equal, CondTerm a, CondTerm b)
     return c;
 }
 
+CondPtr
+Cond::clone() const
+{
+    auto c = std::make_unique<Cond>();
+    c->kind = kind;
+    c->tl = tl;
+    c->tr = tr;
+    if (lhs)
+        c->lhs = lhs->clone();
+    if (rhs)
+        c->rhs = rhs->clone();
+    return c;
+}
+
 std::string
 Cond::str() const
 {

@@ -62,6 +62,9 @@ struct Cond {
     static CondPtr mkNot(CondPtr a);
     static CondPtr mkCmp(bool equal, CondTerm a, CondTerm b);
 
+    /** Deep copy (Program is move-only because of these pointers). */
+    CondPtr clone() const;
+
     std::string str() const;
 };
 

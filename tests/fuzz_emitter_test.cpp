@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Litmus emitter round-trips (the fuzz subsystem's roundtrip oracle in
+ * unit-test form): every generated pattern-suite test serializes to
+ * litmus text that reparses to a program with the same verifier
+ * verdict, and re-emitting the reparsed program reproduces the text
+ * byte for byte (canonical-form idempotence). Random full-profile
+ * programs cover the corner constructs — proxies, CAS, loops,
+ * spinloops, aliases, storage classes, av/vis, barriers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fuzz/random_program.hpp"
+#include "litmus/generator.hpp"
+#include "litmus/litmus_emitter.hpp"
+#include "tests/test_util.hpp"
+
+namespace gpumc::test {
+namespace {
+
+using namespace prog;
+
+bool
+verdictOf(const Program &program, const cat::CatModel &model)
+{
+    core::VerifierOptions options;
+    options.validateWitness = true;
+    core::Verifier verifier(program, model, options);
+    return verifier.checkSafety().holds;
+}
+
+void
+expectRoundTrip(const Program &program, const cat::CatModel &model,
+                const std::string &what)
+{
+    std::string text;
+    ASSERT_NO_THROW(text = litmus::emitLitmus(program)) << what;
+    Program reparsed;
+    ASSERT_NO_THROW(reparsed = litmus::parseLitmus(text))
+        << what << "\n" << text;
+    EXPECT_EQ(text, litmus::emitLitmus(reparsed))
+        << what << ": emit is not idempotent";
+    EXPECT_EQ(verdictOf(program, model), verdictOf(reparsed, model))
+        << what << ": verdict changed across emit/reparse\n" << text;
+}
+
+TEST(FuzzEmitter, PatternSuitePtxRoundTrips)
+{
+    for (bool withProxies : {false, true}) {
+        const cat::CatModel &model =
+            withProxies ? ptx75Model() : ptx60Model();
+        for (const litmus::GeneratedTest &test :
+             litmus::generatePatternSuite(Arch::Ptx, withProxies)) {
+            expectRoundTrip(test.program, model, test.name);
+        }
+    }
+}
+
+TEST(FuzzEmitter, PatternSuiteVulkanRoundTrips)
+{
+    for (const litmus::GeneratedTest &test :
+         litmus::generatePatternSuite(Arch::Vulkan, false)) {
+        expectRoundTrip(test.program, vulkanModel(), test.name);
+    }
+}
+
+/** Spinloops, labels and branches survive the text form. */
+TEST(FuzzEmitter, ProgressSuiteReparsesIdentically)
+{
+    for (Arch arch : {Arch::Ptx, Arch::Vulkan}) {
+        for (const litmus::GeneratedTest &test :
+             litmus::generateProgressSuite(arch)) {
+            std::string text;
+            ASSERT_NO_THROW(text = litmus::emitLitmus(test.program))
+                << test.name;
+            Program reparsed;
+            ASSERT_NO_THROW(reparsed = litmus::parseLitmus(text))
+                << test.name << "\n" << text;
+            EXPECT_EQ(text, litmus::emitLitmus(reparsed)) << test.name;
+        }
+    }
+}
+
+/** Full-profile random programs hit every emitter production. */
+TEST(FuzzEmitter, RandomFullProfileReparsesIdentically)
+{
+    for (Arch arch : {Arch::Ptx, Arch::Vulkan}) {
+        fuzz::FuzzConfig config = fuzz::FuzzConfig::full(arch);
+        for (uint64_t i = 0; i < 60; ++i) {
+            Program program = fuzz::randomProgram(0xe317, i, config);
+            std::string text;
+            ASSERT_NO_THROW(text = litmus::emitLitmus(program))
+                << archName(arch) << " case " << i;
+            Program reparsed;
+            ASSERT_NO_THROW(reparsed = litmus::parseLitmus(text))
+                << archName(arch) << " case " << i << "\n" << text;
+            EXPECT_EQ(text, litmus::emitLitmus(reparsed))
+                << archName(arch) << " case " << i;
+        }
+    }
+}
+
+/** Meta directives ride along through emit and reparse. */
+TEST(FuzzEmitter, MetaDirectivesSurvive)
+{
+    Program program =
+        fuzz::randomProgram(7, 0, fuzz::FuzzConfig::basic(Arch::Ptx));
+    program.meta["safety"] = "holds";
+    program.meta["bound"] = "3";
+    Program reparsed =
+        litmus::parseLitmus(litmus::emitLitmus(program));
+    EXPECT_EQ(reparsed.meta.at("safety"), "holds");
+    EXPECT_EQ(reparsed.meta.at("bound"), "3");
+    EXPECT_EQ(reparsed.name, program.name);
+}
+
+} // namespace
+} // namespace gpumc::test
