@@ -14,6 +14,13 @@
  *  - the static tool's false positives on custom synchronization
  *    (caslock critical sections),
  *  - the static tool missing scope-related races gpumc finds.
+ *
+ * --session-bench runs a different comparison on the same corpus:
+ * every kernel is checked for all three properties (program spec,
+ * liveness, DRF) twice — once with a fresh pipeline per query and once
+ * on shared incremental sessions — verifying that the verdicts are
+ * identical and recording the phase-time savings in
+ * BENCH_session_reuse.json.
  */
 
 #include "bench/bench_util.hpp"
@@ -266,12 +273,162 @@ generateKernelCorpus()
     return out;
 }
 
+/** Phase/solver totals of one fresh-vs-shared bench pass. */
+struct SessionBenchPass {
+    double wallMs = 0;
+    double unrollMs = 0;
+    double analysisMs = 0;
+    double encodeMs = 0;
+    double solveMs = 0;
+    int64_t sessionsBuilt = 0;
+    int64_t sessionsReused = 0;
+};
+
+/**
+ * Fresh-vs-shared session comparison: all three properties per kernel,
+ * once with shareSession=false (one pipeline per query) and once with
+ * shareSession=true (one pipeline per kernel). Writes
+ * BENCH_session_reuse.json; fails if any verdict differs between the
+ * two modes.
+ */
+int
+runSessionBench(const std::vector<Kernel> &corpus, unsigned jobs)
+{
+    core::VerifierOptions options;
+    options.wantWitness = false;
+    const core::Property props[] = {core::Property::Safety,
+                                    core::Property::Liveness,
+                                    core::Property::CatSpec};
+    const char *propNames[] = {"safety", "liveness", "catspec"};
+
+    auto buildBatch = [&](bool share) {
+        std::vector<core::BatchJob> batch;
+        for (const Kernel &kernel : corpus) {
+            if (kernel.usesFloat)
+                continue;
+            for (size_t p = 0; p < 3; ++p) {
+                core::BatchJob job;
+                job.program = &kernel.program;
+                job.model = &bench::vulkanModel();
+                job.property = props[p];
+                job.options = options;
+                job.shareSession = share;
+                job.label = kernel.name + " " + propNames[p];
+                batch.push_back(std::move(job));
+            }
+        }
+        return batch;
+    };
+
+    core::BatchVerifier engine(jobs);
+    auto runPass = [&](bool share, std::vector<core::BatchEntry> &out) {
+        std::vector<core::BatchJob> batch = buildBatch(share);
+        Stopwatch wall;
+        out = engine.run(batch);
+        SessionBenchPass pass;
+        pass.wallMs = wall.elapsedMs();
+        for (const core::BatchEntry &entry : out) {
+            if (entry.failed) {
+                std::fprintf(stderr, "gpumc failed on %s: %s\n",
+                             entry.label.c_str(), entry.error.c_str());
+                std::exit(1);
+            }
+            const StatsRegistry &stats = entry.result.stats;
+            pass.unrollMs += stats.get("phaseUnrollUs") / 1000.0;
+            pass.analysisMs += stats.get("phaseAnalysisUs") / 1000.0;
+            pass.encodeMs += stats.get("phaseEncodeUs") / 1000.0;
+            pass.solveMs += stats.get("phaseSolveUs") / 1000.0;
+            pass.sessionsBuilt += stats.get("sessionsBuilt");
+            pass.sessionsReused += stats.get("sessionsReused");
+        }
+        return pass;
+    };
+
+    std::vector<core::BatchEntry> freshEntries, sharedEntries;
+    SessionBenchPass fresh = runPass(false, freshEntries);
+    SessionBenchPass shared = runPass(true, sharedEntries);
+
+    bool identical = freshEntries.size() == sharedEntries.size();
+    std::string firstMismatch;
+    for (size_t i = 0; identical && i < freshEntries.size(); ++i) {
+        const core::VerificationResult &a = freshEntries[i].result;
+        const core::VerificationResult &b = sharedEntries[i].result;
+        if (a.holds != b.holds || a.unknown != b.unknown ||
+            a.detail != b.detail) {
+            identical = false;
+            firstMismatch = freshEntries[i].label;
+        }
+    }
+
+    const double freshPipeline =
+        fresh.unrollMs + fresh.analysisMs + fresh.encodeMs;
+    const double sharedPipeline =
+        shared.unrollMs + shared.analysisMs + shared.encodeMs;
+    std::printf("Session-reuse bench: %zu queries over %zu kernels "
+                "(3 properties each)\n\n",
+                freshEntries.size(), freshEntries.size() / 3);
+    std::printf("%-8s %10s %10s %10s %10s %10s %8s %8s\n", "MODE",
+                "unroll ms", "analys ms", "encode ms", "solve ms",
+                "wall ms", "built", "reused");
+    std::printf("%-8s %10.1f %10.1f %10.1f %10.1f %10.1f %8lld %8lld\n",
+                "fresh", fresh.unrollMs, fresh.analysisMs, fresh.encodeMs,
+                fresh.solveMs, fresh.wallMs,
+                static_cast<long long>(fresh.sessionsBuilt),
+                static_cast<long long>(fresh.sessionsReused));
+    std::printf("%-8s %10.1f %10.1f %10.1f %10.1f %10.1f %8lld %8lld\n",
+                "shared", shared.unrollMs, shared.analysisMs,
+                shared.encodeMs, shared.solveMs, shared.wallMs,
+                static_cast<long long>(shared.sessionsBuilt),
+                static_cast<long long>(shared.sessionsReused));
+    std::printf("\npipeline (unroll+analysis+encode): %.1f ms fresh vs "
+                "%.1f ms shared (%.0f%% saved)\n",
+                freshPipeline, sharedPipeline,
+                freshPipeline > 0
+                    ? 100.0 * (1.0 - sharedPipeline / freshPipeline)
+                    : 0.0);
+    std::printf("verdicts: %s\n",
+                identical ? "identical between modes"
+                          : ("MISMATCH at " + firstMismatch).c_str());
+
+    std::ofstream json("BENCH_session_reuse.json");
+    auto passJson = [&](const char *name, const SessionBenchPass &pass) {
+        json << "  \"" << name << "\": {\"wallMs\": " << pass.wallMs
+             << ", \"unrollMs\": " << pass.unrollMs
+             << ", \"analysisMs\": " << pass.analysisMs
+             << ", \"encodeMs\": " << pass.encodeMs
+             << ", \"solveMs\": " << pass.solveMs
+             << ", \"pipelineMs\": "
+             << pass.unrollMs + pass.analysisMs + pass.encodeMs
+             << ", \"sessionsBuilt\": " << pass.sessionsBuilt
+             << ", \"sessionsReused\": " << pass.sessionsReused << "}";
+    };
+    json << "{\n  \"queries\": " << freshEntries.size()
+         << ",\n  \"kernels\": " << freshEntries.size() / 3
+         << ",\n  \"jobs\": " << engine.jobs() << ",\n";
+    passJson("fresh", fresh);
+    json << ",\n";
+    passJson("shared", shared);
+    json << ",\n  \"pipelineSavedFraction\": "
+         << (freshPipeline > 0 ? 1.0 - sharedPipeline / freshPipeline
+                               : 0.0)
+         << ",\n  \"encodeSavedFraction\": "
+         << (fresh.encodeMs > 0 ? 1.0 - shared.encodeMs / fresh.encodeMs
+                                : 0.0)
+         << ",\n  \"verdictsIdentical\": "
+         << (identical ? "true" : "false") << "\n}\n";
+    json.close();
+    std::printf("(writing BENCH_session_reuse.json)\n");
+
+    return identical ? 0 : 1;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     unsigned jobs = 0; // hardware concurrency
+    bool sessionBench = false;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (startsWith(arg, "--jobs=")) {
@@ -281,8 +438,13 @@ main(int argc, char **argv)
                 return 2;
             }
             jobs = static_cast<unsigned>(*n);
+        } else if (arg == "--session-bench") {
+            sessionBench = true;
         }
     }
+
+    if (sessionBench)
+        return runSessionBench(generateKernelCorpus(), jobs);
 
     std::vector<Kernel> corpus = generateKernelCorpus();
     std::printf("Table 6: DRF verification of %zu kernels "

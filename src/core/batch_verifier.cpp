@@ -1,11 +1,56 @@
 #include "core/batch_verifier.hpp"
 
+#include <map>
+#include <memory>
 #include <mutex>
+#include <tuple>
 
 #include "support/diagnostics.hpp"
 #include "support/thread_pool.hpp"
 
 namespace gpumc::core {
+
+namespace {
+
+/**
+ * Session-cache key: jobs with equal keys produce identical structural
+ * encodings, so they may share one live Verifier. Every option that
+ * reaches the encoder is part of the key; the unroll bound is
+ * normalized to -1 for straight-line programs (their unrolling — and
+ * hence the whole encoding, given an equal effective value width — is
+ * the same at every bound).
+ */
+using SessionKey = std::tuple<uint64_t, uint64_t,       // fingerprint
+                              const cat::CatModel *,    // model identity
+                              int,                      // backend kind
+                              int,                      // normalized bound
+                              int,                      // effective bits
+                              bool, bool,               // encoder ablations
+                              bool, bool,               // witness handling
+                              int64_t>;                 // solver budget
+
+SessionKey
+sessionKey(const BatchJob &job, const prog::ProgramFingerprint &fp)
+{
+    const VerifierOptions &o = job.options;
+    int effectiveBits = o.valueBits > 0
+                            ? o.valueBits
+                            : job.program->suggestedValueBits(o.bound);
+    int normalizedBound = job.program->isStraightLine() ? -1 : o.bound;
+    return {fp.hi,
+            fp.lo,
+            job.model,
+            static_cast<int>(o.backend),
+            normalizedBound,
+            effectiveBits,
+            o.useLowerBounds,
+            o.forceClosureSoundness,
+            o.validateWitness,
+            o.wantWitness,
+            o.solverTimeoutMs};
+}
+
+} // namespace
 
 BatchVerifier::BatchVerifier(unsigned jobs)
     : jobs_(jobs == 0 ? defaultConcurrency() : jobs)
@@ -19,28 +64,62 @@ BatchVerifier::run(const std::vector<BatchJob> &batch,
     std::vector<BatchEntry> entries(batch.size());
     std::mutex progressMutex;
 
+    // Group jobs that may share a live session. Grouping happens up
+    // front, in input order, so the group list (and thus every
+    // verdict) is independent of the worker count.
+    struct Group {
+        std::vector<size_t> indices;
+    };
+    std::vector<Group> groups;
+    std::map<SessionKey, size_t> groupOf;
+    for (size_t i = 0; i < batch.size(); ++i) {
+        const BatchJob &job = batch[i];
+        GPUMC_ASSERT(job.program && job.model,
+                     "BatchJob without program/model");
+        if (!job.shareSession) {
+            groups.push_back({{i}});
+            continue;
+        }
+        SessionKey key = sessionKey(job, job.program->fingerprint());
+        auto [it, inserted] = groupOf.try_emplace(key, groups.size());
+        if (inserted)
+            groups.push_back({});
+        groups[it->second].indices.push_back(i);
+    }
+
     parallelFor(
-        static_cast<int64_t>(batch.size()), jobs_, [&](int64_t i) {
-            const BatchJob &job = batch[static_cast<size_t>(i)];
-            BatchEntry &entry = entries[static_cast<size_t>(i)];
-            entry.label = job.label;
-            GPUMC_ASSERT(job.program && job.model,
-                         "BatchJob without program/model");
-            try {
-                Verifier verifier(*job.program, *job.model, job.options);
-                entry.result = verifier.check(job.property);
-            } catch (const FatalError &error) {
-                entry.failed = true;
-                entry.error = error.what();
-            } catch (const std::exception &error) {
-                // Anything else (e.g. bad_alloc on a huge encoding) is
-                // still confined to this query, not the whole batch.
-                entry.failed = true;
-                entry.error = error.what();
-            }
-            if (onDone) {
-                std::lock_guard<std::mutex> lock(progressMutex);
-                onDone(static_cast<size_t>(i), entry);
+        static_cast<int64_t>(groups.size()), jobs_, [&](int64_t g) {
+            const Group &group = groups[static_cast<size_t>(g)];
+            // One shared Verifier per group; a job that throws gets its
+            // session discarded so the remaining jobs of the group run
+            // on a fresh one instead of a half-encoded solver.
+            std::unique_ptr<Verifier> shared;
+            for (size_t i : group.indices) {
+                const BatchJob &job = batch[i];
+                BatchEntry &entry = entries[i];
+                entry.label = job.label;
+                try {
+                    if (!shared) {
+                        shared = std::make_unique<Verifier>(
+                            *job.program, *job.model, job.options);
+                    }
+                    entry.result = shared->check(job.property);
+                } catch (const FatalError &error) {
+                    entry.failed = true;
+                    entry.error = error.what();
+                    shared.reset();
+                } catch (const std::exception &error) {
+                    // Anything else (e.g. bad_alloc on a huge encoding)
+                    // is still confined to this query, not the whole
+                    // batch.
+                    entry.failed = true;
+                    entry.error = error.what();
+                    shared.reset();
+                }
+                if (onDone) {
+                    std::lock_guard<std::mutex> lock(progressMutex);
+                    onDone(i, entry);
+                }
             }
         });
 

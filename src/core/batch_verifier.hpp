@@ -4,18 +4,22 @@
  * (program, model, property) queries out across worker threads and
  * collects the results in input order.
  *
- * Each query builds its own Verifier::Session — its own unrolling,
- * analysis and solver instance — so queries share no mutable state
- * and the fan-out is embarrassingly parallel. Inputs (programs and
- * models) are only read; CatModel is immutable after construction and
- * safe to share across workers (verified: no mutable members, and the
- * only statics behind it — cat::Vocabulary::gpu() and the analysis
- * init-placement constant — are const with thread-safe magic-static
- * initialization).
+ * Jobs that target the same (program fingerprint, model, bound,
+ * backend) are grouped onto one shared incremental Verifier session:
+ * the unroll/analysis/encode pipeline runs once per group and each
+ * job is an assumption-guarded query on the live solver (see
+ * core::Verifier). Groups share no mutable state with each other, so
+ * the fan-out across groups is embarrassingly parallel. Inputs
+ * (programs and models) are only read; CatModel is immutable after
+ * construction and safe to share across workers (verified: no mutable
+ * members, and the only statics behind it — cat::Vocabulary::gpu()
+ * and the analysis init-placement constant — are const with
+ * thread-safe magic-static initialization).
  *
- * Determinism: results land in a pre-sized slot per job, so the
- * returned vector order (and every verdict in it) is identical for
- * any worker count.
+ * Determinism: results land in a pre-sized slot per job, groups are
+ * formed in first-seen input order and run their jobs sequentially in
+ * input order, so the returned vector (and every verdict in it) is
+ * identical for any worker count.
  */
 
 #ifndef GPUMC_CORE_BATCH_VERIFIER_HPP
@@ -38,6 +42,16 @@ struct BatchJob {
     /** Free-form tag echoed into the matching BatchEntry (e.g. the
      *  source file plus model name); not interpreted. */
     std::string label;
+    /**
+     * Allow this job to share one live session with other jobs of the
+     * same session-cache group (equal program fingerprint, model,
+     * backend, effective encoding parameters; for straight-line
+     * programs the unroll bound is ignored, since their unrolling is
+     * bound-independent — this is what lets ascending-bound re-solves
+     * reuse lower-bound sessions soundly). Set to false to force a
+     * fresh pipeline per job, e.g. for fresh-vs-shared benchmarking.
+     */
+    bool shareSession = true;
 };
 
 /** Outcome of one BatchJob, at the same index as its job. */

@@ -14,6 +14,8 @@ Verifier::Verifier(const prog::Program &program, const cat::CatModel &model,
 {
 }
 
+Verifier::~Verifier() = default;
+
 struct Verifier::Session {
     /** Elapsed-and-restart: closes the current timing phase. */
     static double takePhase(Stopwatch &watch)
@@ -22,6 +24,16 @@ struct Verifier::Session {
         watch.restart();
         return ms;
     }
+
+    /** Per-property query state on the shared solver. */
+    struct PropertyQuery {
+        /** Selector guarding this property's constraints. */
+        Lit activation = 0;
+        bool encoded = false;
+        /** Decided without a solver query (CatSpec with no flags). */
+        bool trivial = false;
+        std::vector<encoder::FlagViolation> flags;
+    };
 
     // Members run in declaration order, so the interleaved `*Ms`
     // members fence off the pipeline phases of the paper's Fig. 4:
@@ -36,8 +48,19 @@ struct Verifier::Session {
     smt::Circuit circuit;
     encoder::ProgramEncoder pe;
     encoder::RelationEncoder re;
-    double encodeMs = 0;
-    double solveMs = 0;
+    double structureEncodeMs = 0;
+
+    // Shared-session state across property checks.
+    std::map<Property, PropertyQuery> queries;
+    bool commonAsserted = false;
+    int64_t queriesIssued = 0;
+    int64_t timesReused = 0;
+
+    // Per-check state, reset by beginCheck().
+    double checkEncodeMs = 0;
+    double checkSolveMs = 0;
+    Deadline deadline;
+    std::map<std::string, int64_t> statsBase;
 
     Session(const prog::Program &program, const cat::CatModel &model,
             const VerifierOptions &options)
@@ -60,37 +83,114 @@ struct Verifier::Session {
     {
         pe.encodeStructure();
         re.assertAxioms();
-        encodeMs = takePhase(phaseWatch);
+        structureEncodeMs = takePhase(phaseWatch);
+    }
+
+    /**
+     * Open a property check: reset per-check timers, arm the check's
+     * shared wall-clock deadline, and snapshot the backend statistics
+     * so this check's solver work can be exported as deltas.
+     */
+    void beginCheck(int64_t solverTimeoutMs)
+    {
+        phaseWatch.restart();
+        checkEncodeMs = 0;
+        checkSolveMs = 0;
+        deadline = Deadline::in(solverTimeoutMs);
+        statsBase = backend->statistics();
+    }
+
+    /** Assert `act -> l`: l only constrains queries that assume act. */
+    void assertGuarded(Lit act, Lit l)
+    {
+        backend->addClause({-act, l});
+    }
+
+    /**
+     * Constraints every property needs, asserted unguarded exactly
+     * once: the litmus `filter` clause and the hard (non-spin) kill
+     * forbids. Spin kills stay per-property: Safety/CatSpec forbid
+     * them (guarded), Liveness interprets them as stuck threads.
+     */
+    void ensureCommon(const prog::Program &program)
+    {
+        if (commonAsserted)
+            return;
+        commonAsserted = true;
+        for (int node : up.killNodes) {
+            if (!up.nodes[node].spinKill)
+                circuit.assertLit(circuit.mkNot(pe.guardOf(node)));
+        }
+        if (program.filter)
+            circuit.assertLit(pe.condLit(*program.filter));
+    }
+
+    /** Forbid reaching spin-kill nodes, guarded by @p act. */
+    void forbidSpinKills(Lit act)
+    {
+        for (int node : up.killNodes) {
+            if (up.nodes[node].spinKill)
+                assertGuarded(act, circuit.mkNot(pe.guardOf(node)));
+        }
+    }
+
+    /**
+     * Issue this property's query on the shared solver: assume its
+     * activation and retire every other encoded property's group.
+     * Under these assumptions the formula is equisatisfiable with the
+     * fresh single-property encoding (the other groups' clauses are
+     * satisfied by their negated selectors, and their gate variables
+     * are unconstrained), so verdicts match fresh sessions exactly.
+     */
+    smt::SolveResult query(Property property)
+    {
+        std::vector<Lit> assumptions;
+        for (const auto &[p, q] : queries) {
+            if (!q.encoded || q.trivial)
+                continue;
+            assumptions.push_back(p == property ? q.activation
+                                                : -q.activation);
+        }
+        if (deadline.expired())
+            return smt::SolveResult::Unknown;
+        // Explicitly (re)set the limit before every query: derives the
+        // remaining per-check budget from the shared deadline, and
+        // resets any budget a previous (possibly timed-out) check left
+        // behind so it cannot poison this query.
+        backend->setTimeLimitMs(
+            deadline.limited() ? std::max<int64_t>(1, deadline.remainingMs())
+                               : 0);
+        queriesIssued++;
+        return backend->solve(assumptions);
     }
 
     /** Stamp phase timings and solver statistics into @p result. */
-    void exportStats(VerificationResult &result) const
+    void exportStats(VerificationResult &result, bool builtSession) const
     {
         auto us = [](double ms) {
             return static_cast<int64_t>(ms * 1000.0 + 0.5);
         };
-        result.stats.set("phaseUnrollUs", us(unrollMs));
-        result.stats.set("phaseAnalysisUs", us(analysisMs));
-        result.stats.set("phaseEncodeUs", us(encodeMs));
-        result.stats.set("phaseSolveUs", us(solveMs));
-        for (const auto &[key, value] : backend->statistics())
-            result.stats.set("solver." + key, value);
-    }
-
-    /** Forbid reaching the given class of kill nodes. */
-    void forbidKills(bool includeSpinKills)
-    {
-        for (int node : up.killNodes) {
-            if (!includeSpinKills && up.nodes[node].spinKill)
-                continue;
-            circuit.assertLit(circuit.mkNot(pe.guardOf(node)));
+        // The pipeline phases ran once, when the session was built;
+        // checks served from the live session only pay property
+        // encoding + solving.
+        result.stats.set("phaseUnrollUs", us(builtSession ? unrollMs : 0));
+        result.stats.set("phaseAnalysisUs",
+                         us(builtSession ? analysisMs : 0));
+        result.stats.set(
+            "phaseEncodeUs",
+            us((builtSession ? structureEncodeMs : 0) + checkEncodeMs));
+        result.stats.set("phaseSolveUs", us(checkSolveMs));
+        result.stats.set("sessionsBuilt", builtSession ? 1 : 0);
+        result.stats.set("sessionsReused", builtSession ? 0 : 1);
+        result.stats.set("queriesOnSharedSession", queriesIssued);
+        // Solver counters as deltas against the beginCheck() snapshot,
+        // so each result reports its own check's work even though the
+        // backend accumulates across the whole session.
+        for (const auto &[key, value] : backend->statistics()) {
+            auto it = statsBase.find(key);
+            int64_t base = it == statsBase.end() ? 0 : it->second;
+            result.stats.set("solver." + key, value - base);
         }
-    }
-
-    void assertFilter(const prog::Program &program)
-    {
-        if (program.filter)
-            circuit.assertLit(pe.condLit(*program.filter));
     }
 };
 
@@ -118,6 +218,16 @@ Verifier::checkCatSpec()
     return run(Property::CatSpec);
 }
 
+std::vector<VerificationResult>
+Verifier::checkAll(const std::vector<Property> &properties)
+{
+    std::vector<VerificationResult> results;
+    results.reserve(properties.size());
+    for (Property property : properties)
+        results.push_back(run(property));
+    return results;
+}
+
 VerificationResult
 Verifier::run(Property property)
 {
@@ -125,79 +235,92 @@ Verifier::run(Property property)
     VerificationResult result;
     result.property = property;
 
-    Session s(program_, model_, options_);
+    const bool builtSession = !session_;
+    if (builtSession)
+        session_ = std::make_unique<Session>(program_, model_, options_);
+    Session &s = *session_;
+    s.beginCheck(options_.solverTimeoutMs);
+    if (!builtSession)
+        s.timesReused++;
 
-    // Per-property query construction.
-    std::vector<encoder::FlagViolation> flags;
-    switch (property) {
-      case Property::Safety: {
-        s.forbidKills(true);
-        s.assertFilter(program_);
-        Lit cond = program_.assertion ? s.pe.condLit(*program_.assertion)
-                                      : s.circuit.trueLit();
-        if (program_.assertKind == prog::AssertKind::Forall)
-            cond = s.circuit.mkNot(cond);
-        s.circuit.assertLit(cond);
-        break;
-      }
-      case Property::CatSpec: {
-        s.forbidKills(true);
-        s.assertFilter(program_);
-        flags = s.re.encodeFlags();
-        if (flags.empty()) {
-            result.holds = true;
-            result.detail = "model has no flagged axioms";
-            s.encodeMs += Session::takePhase(s.phaseWatch);
-            s.exportStats(result);
-            result.timeMs = timer.elapsedMs();
-            return result;
-        }
-        std::vector<Lit> any;
-        for (const encoder::FlagViolation &f : flags)
-            any.push_back(f.lit);
-        s.circuit.assertLit(s.circuit.mkOr(any));
-        break;
-      }
-      case Property::Liveness: {
-        s.forbidKills(false); // spin kills represent stuck threads
-        s.assertFilter(program_);
+    s.ensureCommon(program_);
 
-        // stuck(t): some spinloop of t exhausted the bound with all of
-        // its final-iteration reads observing co-maximal writes.
-        std::vector<Lit> stuck(program_.numThreads(),
-                               s.circuit.falseLit());
-        for (const prog::SpinKillInfo &info : s.up.spinKills) {
-            std::vector<Lit> conj = {s.pe.guardOf(info.killNode)};
-            for (int read : info.lastIterationReads) {
-                // The read observes a co-maximal write.
-                std::vector<Lit> cases;
-                for (const auto &[key, lit] : s.pe.rfMap()) {
-                    int w = static_cast<int>(key >> 32);
-                    int r = static_cast<int>(key & 0xffffffff);
-                    if (r != read)
-                        continue;
-                    cases.push_back(
-                        s.circuit.mkAnd(lit, s.pe.coMaximalLit(w)));
-                }
-                conj.push_back(s.circuit.mkOr(cases));
+    // Per-property query construction, encoded once per session behind
+    // a fresh activation literal; repeats of the same property reuse
+    // the already-encoded group (and the solver's learned clauses).
+    Session::PropertyQuery &q = s.queries[property];
+    if (!q.encoded) {
+        q.encoded = true;
+        switch (property) {
+          case Property::Safety: {
+            q.activation = s.backend->mkActivationLit();
+            s.forbidSpinKills(q.activation);
+            Lit cond = program_.assertion
+                           ? s.pe.condLit(*program_.assertion)
+                           : s.circuit.trueLit();
+            if (program_.assertKind == prog::AssertKind::Forall)
+                cond = s.circuit.mkNot(cond);
+            s.assertGuarded(q.activation, cond);
+            break;
+          }
+          case Property::CatSpec: {
+            q.flags = s.re.encodeFlags();
+            if (q.flags.empty()) {
+                q.trivial = true;
+                break;
             }
-            stuck[info.thread] = s.circuit.mkOr(
-                stuck[info.thread], s.circuit.mkAnd(conj));
-        }
+            q.activation = s.backend->mkActivationLit();
+            s.forbidSpinKills(q.activation);
+            std::vector<Lit> any;
+            for (const encoder::FlagViolation &f : q.flags)
+                any.push_back(f.lit);
+            s.assertGuarded(q.activation, s.circuit.mkOr(any));
+            break;
+          }
+          case Property::Liveness: {
+            // Spin kills represent stuck threads here, so they are
+            // deliberately not forbidden for this property's query.
+            q.activation = s.backend->mkActivationLit();
 
-        // Violation: some thread is stuck, and every thread is either
-        // stuck or terminated (no thread can make progress).
-        std::vector<Lit> someStuck;
-        std::vector<Lit> allBlocked;
-        for (int t = 0; t < program_.numThreads(); ++t) {
-            someStuck.push_back(stuck[t]);
-            allBlocked.push_back(
-                s.circuit.mkOr(stuck[t], s.pe.threadTerminated(t)));
+            // stuck(t): some spinloop of t exhausted the bound with
+            // all of its final-iteration reads observing co-maximal
+            // writes.
+            std::vector<Lit> stuck(program_.numThreads(),
+                                   s.circuit.falseLit());
+            for (const prog::SpinKillInfo &info : s.up.spinKills) {
+                std::vector<Lit> conj = {s.pe.guardOf(info.killNode)};
+                for (int read : info.lastIterationReads) {
+                    // The read observes a co-maximal write.
+                    std::vector<Lit> cases;
+                    for (const auto &[key, lit] : s.pe.rfMap()) {
+                        int w = static_cast<int>(key >> 32);
+                        int r = static_cast<int>(key & 0xffffffff);
+                        if (r != read)
+                            continue;
+                        cases.push_back(
+                            s.circuit.mkAnd(lit, s.pe.coMaximalLit(w)));
+                    }
+                    conj.push_back(s.circuit.mkOr(cases));
+                }
+                stuck[info.thread] = s.circuit.mkOr(
+                    stuck[info.thread], s.circuit.mkAnd(conj));
+            }
+
+            // Violation: some thread is stuck, and every thread is
+            // either stuck or terminated (no thread can make
+            // progress).
+            std::vector<Lit> someStuck;
+            std::vector<Lit> allBlocked;
+            for (int t = 0; t < program_.numThreads(); ++t) {
+                someStuck.push_back(stuck[t]);
+                allBlocked.push_back(
+                    s.circuit.mkOr(stuck[t], s.pe.threadTerminated(t)));
+            }
+            s.assertGuarded(q.activation, s.circuit.mkOr(someStuck));
+            s.assertGuarded(q.activation, s.circuit.mkAnd(allBlocked));
+            break;
+          }
         }
-        s.circuit.assertLit(s.circuit.mkOr(someStuck));
-        s.circuit.assertLit(s.circuit.mkAnd(allBlocked));
-        break;
-      }
     }
 
     result.stats.set("events", s.up.numEvents());
@@ -205,16 +328,26 @@ Verifier::run(Property property)
     result.stats.set("smtClauses", s.backend->numClauses());
 
     // The property-specific encoding above is part of the encode phase.
-    s.encodeMs += Session::takePhase(s.phaseWatch);
+    s.checkEncodeMs += Session::takePhase(s.phaseWatch);
 
-    if (options_.solverTimeoutMs > 0)
-        s.backend->setTimeLimitMs(options_.solverTimeoutMs);
-    smt::SolveResult solveResult = s.backend->solve();
-    s.solveMs = Session::takePhase(s.phaseWatch);
+    if (q.trivial) {
+        result.holds = true;
+        result.detail = "model has no flagged axioms";
+        s.exportStats(result, builtSession);
+        result.timeMs = timer.elapsedMs();
+        return result;
+    }
+
+    smt::SolveResult solveResult = s.query(property);
+    s.checkSolveMs += Session::takePhase(s.phaseWatch);
     if (solveResult == smt::SolveResult::Unknown) {
+        // Unknown is confined to this check: the solver unwound to its
+        // root level, the activation stays retired for other queries,
+        // and the next check re-arms its own deadline — later
+        // properties are reported independently.
         result.unknown = true;
         result.detail = "solver resource limit exhausted";
-        s.exportStats(result);
+        s.exportStats(result, builtSession);
         result.timeMs = timer.elapsedMs();
         return result;
     }
@@ -260,7 +393,7 @@ Verifier::run(Property property)
             for (size_t i = 0; i < witness.events.size(); ++i)
                 localOf[witness.events[i].originalId] =
                     static_cast<int>(i);
-            for (const encoder::FlagViolation &f : flags) {
+            for (const encoder::FlagViolation &f : q.flags) {
                 for (const auto &[pair, lit] : f.pairLits) {
                     if (!s.circuit.modelTrue(lit))
                         continue;
@@ -282,7 +415,7 @@ Verifier::run(Property property)
         result.witness = std::move(witness);
     }
 
-    s.exportStats(result);
+    s.exportStats(result, builtSession);
     result.timeMs = timer.elapsedMs();
     return result;
 }

@@ -4,13 +4,23 @@
  * checks litmus programs against `.cat` consistency models for safety
  * (final-state conditions), liveness (spinloop progress) and data-race
  * freedom (`flag ~empty` axioms).
+ *
+ * A `Verifier` owns one shared incremental session per (program,
+ * model, bound): the unroll/analysis/structural-encoding pipeline runs
+ * once, and each property's specific constraints are asserted behind a
+ * fresh activation literal and queried via `solve({activation, ...})`
+ * on the same live solver, preserving learned clauses across
+ * properties (the assumption-based incremental style of Dartagnan-like
+ * BMC tools).
  */
 
 #ifndef GPUMC_CORE_VERIFIER_HPP
 #define GPUMC_CORE_VERIFIER_HPP
 
+#include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "cat/model.hpp"
 #include "core/witness.hpp"
@@ -41,8 +51,11 @@ struct VerifierOptions {
     /** Force closure soundness indices everywhere (ablation). */
     bool forceClosureSoundness = false;
     /**
-     * Wall-clock budget for the solver per query, in milliseconds;
-     * 0 = unlimited. When exhausted the result carries unknown=true.
+     * Wall-clock budget per property check, in milliseconds; 0 =
+     * unlimited. The budget is a single shared deadline for the whole
+     * check — every solver query issued by the check draws from the
+     * same remaining budget. When exhausted the result carries
+     * unknown=true.
      */
     int64_t solverTimeoutMs = 0;
     /** Extract an execution witness on SAT results. */
@@ -75,6 +88,7 @@ class Verifier {
   public:
     Verifier(const prog::Program &program, const cat::CatModel &model,
              VerifierOptions options = {});
+    ~Verifier();
 
     /** Check the litmus exists/~exists/forall condition. */
     VerificationResult checkSafety();
@@ -86,10 +100,32 @@ class Verifier {
     /** Dispatch by property. */
     VerificationResult check(Property property);
 
+    /**
+     * Check several properties on one shared session: the pipeline
+     * (unroll, analyses, structural encoding) runs exactly once and
+     * every property is an assumption-guarded query on the same live
+     * solver. Results are in the order of @p properties.
+     */
+    std::vector<VerificationResult>
+    checkAll(const std::vector<Property> &properties = {
+                 Property::Safety, Property::Liveness, Property::CatSpec});
+
+    /**
+     * Adjust the per-check solver budget for subsequent checks (the
+     * live session, including its learned clauses, is kept). A timed-
+     * out check never poisons later checks: each check re-arms its own
+     * deadline from this option.
+     */
+    void setSolverTimeoutMs(int64_t ms) { options_.solverTimeoutMs = ms; }
+
+    const VerifierOptions &options() const { return options_; }
+
   private:
     /**
-     * One encoding session: fresh backend + full structural encoding.
-     * allowSpinKills selects liveness bounding semantics.
+     * The shared encoding session: backend + full structural encoding,
+     * built lazily on the first check and reused by every later check
+     * of this Verifier. Property-specific constraints are guarded by
+     * activation literals so the one solver serves all properties.
      */
     struct Session;
     VerificationResult run(Property property);
@@ -97,6 +133,7 @@ class Verifier {
     const prog::Program &program_;
     const cat::CatModel &model_;
     VerifierOptions options_;
+    std::unique_ptr<Session> session_;
 };
 
 } // namespace gpumc::core

@@ -192,6 +192,18 @@ runCampaign(const CampaignOptions &options)
         });
     }
 
+    // Phase 4b: the session-reuse differential, self-contained per
+    // case (shared checkAll() vs fresh sessions on both backends), so
+    // it fans out directly instead of going through the batch.
+    std::vector<OracleOutcome> reuseOutcomes(static_cast<size_t>(runs));
+    if (oracle.sessionReuse) {
+        parallelFor(runs, options.jobs, [&](int64_t i) {
+            const size_t n = static_cast<size_t>(i);
+            reuseOutcomes[n] =
+                sessionReuseOracle(programs[n], model, oracle);
+        });
+    }
+
     // Phase 5: compare, sequentially in input order.
     std::vector<size_t> disagreeing;
     for (int i = 0; i < runs; ++i) {
@@ -217,6 +229,8 @@ runCampaign(const CampaignOptions &options)
         }
 
         OracleReport report = compareOracles(inputs, oracle);
+        if (oracle.sessionReuse)
+            report.outcomes.push_back(reuseOutcomes[n]);
         for (const OracleOutcome &o : report.outcomes) {
             result.oracleChecks++;
             switch (o.verdict) {

@@ -14,6 +14,7 @@ oracleName(OracleKind kind)
       case OracleKind::SmtVsExplicit: return "smt-vs-explicit";
       case OracleKind::Z3VsBuiltin: return "z3-vs-builtin";
       case OracleKind::BoundMono: return "bound-mono";
+      case OracleKind::SessionReuse: return "session-reuse";
     }
     return "?";
 }
@@ -73,6 +74,7 @@ OracleOptions::only(OracleKind kind) const
     out.smtVsExplicit = kind == OracleKind::SmtVsExplicit;
     out.z3VsBuiltin = kind == OracleKind::Z3VsBuiltin;
     out.boundMono = kind == OracleKind::BoundMono;
+    out.sessionReuse = kind == OracleKind::SessionReuse;
     return out;
 }
 
@@ -114,6 +116,72 @@ screen(const EngineRun &run, const char *who, OracleOutcome &outcome)
 }
 
 } // namespace
+
+/**
+ * Shared-vs-fresh session differential: one checkAll() on a shared
+ * incremental session must match three fresh-session checks verdict
+ * for verdict (holds, unknown and the detail string), with witness
+ * validation enabled on both sides, on both backends.
+ */
+OracleOutcome
+sessionReuseOracle(const prog::Program &program, const cat::CatModel &model,
+                   const OracleOptions &options)
+{
+    OracleOutcome o;
+    o.kind = OracleKind::SessionReuse;
+
+    const core::Property props[] = {core::Property::Safety,
+                                    core::Property::Liveness,
+                                    core::Property::CatSpec};
+    const char *propNames[] = {"safety", "liveness", "catspec"};
+    auto describe = [](const core::VerificationResult &r) {
+        if (r.unknown)
+            return std::string("unknown");
+        return std::string(r.holds ? "holds" : "fails") + "(" + r.detail +
+               ")";
+    };
+
+    for (smt::BackendKind backend :
+         {smt::BackendKind::Builtin, smt::BackendKind::Z3}) {
+        if (o.verdict != OracleVerdict::Agree)
+            break;
+        const char *backendName =
+            backend == smt::BackendKind::Z3 ? "z3" : "builtin";
+        core::VerifierOptions vo;
+        vo.backend = backend;
+        vo.bound = options.bound;
+        vo.validateWitness = true;
+        vo.solverTimeoutMs = options.solverTimeoutMs;
+        try {
+            core::Verifier sharedVerifier(program, model, vo);
+            std::vector<core::VerificationResult> shared =
+                sharedVerifier.checkAll(
+                    {props[0], props[1], props[2]});
+            for (size_t i = 0; i < shared.size(); ++i) {
+                core::Verifier freshVerifier(program, model, vo);
+                core::VerificationResult fresh =
+                    freshVerifier.check(props[i]);
+                if (fresh.holds != shared[i].holds ||
+                    fresh.unknown != shared[i].unknown ||
+                    fresh.detail != shared[i].detail) {
+                    o.verdict = OracleVerdict::Disagree;
+                    o.detail = std::string(backendName) + " " +
+                               propNames[i] +
+                               ": fresh=" + describe(fresh) +
+                               " shared=" + describe(shared[i]);
+                    break;
+                }
+            }
+        } catch (const FatalError &error) {
+            o.verdict = OracleVerdict::Skipped;
+            o.detail = std::string(backendName) + " error: " + error.what();
+        } catch (const std::exception &error) {
+            o.verdict = OracleVerdict::Skipped;
+            o.detail = std::string(backendName) + " error: " + error.what();
+        }
+    }
+    return o;
+}
 
 OracleReport
 compareOracles(const OracleInputs &inputs, const OracleOptions &options)
@@ -300,7 +368,10 @@ runOracles(const prog::Program &program, const cat::CatModel &model,
         inputs.explicitRan = true;
     }
 
-    return compareOracles(inputs, options);
+    OracleReport report = compareOracles(inputs, options);
+    if (options.sessionReuse)
+        report.outcomes.push_back(sessionReuseOracle(program, model, options));
+    return report;
 }
 
 } // namespace gpumc::fuzz

@@ -12,6 +12,10 @@
  *  - z3-vs-builtin:   the two SMT backends on identical encodings
  *  - bound-mono:      metamorphic check — a violation witnessed at
  *                     unroll bound k must persist at bound k+1
+ *  - session-reuse:   checkAll() on one shared incremental session
+ *                     must agree verdict-for-verdict (including detail
+ *                     strings, with witness validation on) with three
+ *                     fresh-session checks, on both backends
  *
  * The harness can run self-contained (runOracles, used by the shrinker
  * and the tests) or compare results produced elsewhere (compareOracles,
@@ -32,7 +36,13 @@
 
 namespace gpumc::fuzz {
 
-enum class OracleKind { RoundTrip, SmtVsExplicit, Z3VsBuiltin, BoundMono };
+enum class OracleKind {
+    RoundTrip,
+    SmtVsExplicit,
+    Z3VsBuiltin,
+    BoundMono,
+    SessionReuse
+};
 
 const char *oracleName(OracleKind kind);
 
@@ -72,6 +82,13 @@ struct OracleOptions {
     bool smtVsExplicit = true;
     bool z3VsBuiltin = true;
     bool boundMono = true;
+    /**
+     * Shared-session vs fresh-session differential (self-contained in
+     * runOracles; compareOracles has no inputs for it). Off by default:
+     * it re-verifies every property twice per backend, so campaigns
+     * opt in explicitly.
+     */
+    bool sessionReuse = false;
 
     uint64_t explicitMaxCandidates = 50000;
     double explicitTimeoutMs = 3000;
@@ -132,6 +149,17 @@ bool witnessFound(const prog::Program &program,
 /** Cross-check pre-computed engine runs. */
 OracleReport compareOracles(const OracleInputs &inputs,
                             const OracleOptions &options);
+
+/**
+ * Run just the shared-vs-fresh session differential (self-contained:
+ * verifies all three properties on one checkAll() session and on
+ * three fresh sessions, per backend). Used by runOracles when
+ * `options.sessionReuse` is set and by the campaign driver, which
+ * fans it across workers itself.
+ */
+OracleOutcome sessionReuseOracle(const prog::Program &program,
+                                 const cat::CatModel &model,
+                                 const OracleOptions &options);
 
 /** Run every enabled engine sequentially and cross-check. */
 OracleReport runOracles(const prog::Program &program,

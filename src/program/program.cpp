@@ -1,6 +1,7 @@
 #include "program/program.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <map>
 #include <set>
 
@@ -194,6 +195,154 @@ Program::validate()
         validateCond(*assertion, "assertion");
     if (filter)
         validateCond(*filter, "filter");
+}
+
+namespace {
+
+/**
+ * FNV-1a over a typed field stream. Two instances with different
+ * offset bases run in lockstep to produce the 128-bit fingerprint;
+ * every field is fed with a small tag so that adjacent defaulted
+ * fields cannot alias each other.
+ */
+class FieldHasher {
+  public:
+    explicit FieldHasher(uint64_t basis) : h_(basis) {}
+
+    void u64(uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i) {
+            h_ ^= (v >> (i * 8)) & 0xff;
+            h_ *= kPrime;
+        }
+    }
+    void i64(int64_t v) { u64(static_cast<uint64_t>(v)); }
+    void tag(char c) { u64(static_cast<uint64_t>(c) | 0x100); }
+    void boolean(bool b) { u64(b ? 1 : 2); }
+    void str(const std::string &s)
+    {
+        u64(s.size());
+        for (char c : s) {
+            h_ ^= static_cast<unsigned char>(c);
+            h_ *= kPrime;
+        }
+    }
+
+    uint64_t value() const { return h_; }
+
+  private:
+    static constexpr uint64_t kPrime = 1099511628211ull;
+    uint64_t h_;
+};
+
+void
+hashOperand(FieldHasher &h, const Operand &o)
+{
+    h.tag('o');
+    h.u64(static_cast<uint64_t>(o.kind));
+    h.str(o.reg);
+    h.i64(o.value);
+}
+
+void
+hashCond(FieldHasher &h, const Cond *cond)
+{
+    if (!cond) {
+        h.tag('0');
+        return;
+    }
+    // Cond::str() is a faithful serialization of the condition tree
+    // (used by the emitter round-trip), so hashing it covers every
+    // semantic field of the tree.
+    h.tag('c');
+    h.str(cond->str());
+}
+
+void
+hashInstruction(FieldHasher &h, const Instruction &ins)
+{
+    h.tag('i');
+    h.u64(static_cast<uint64_t>(ins.op));
+    h.str(ins.location);
+    h.str(ins.dst);
+    hashOperand(h, ins.src);
+    hashOperand(h, ins.src2);
+    h.u64(static_cast<uint64_t>(ins.order));
+    h.boolean(ins.scope.has_value());
+    if (ins.scope)
+        h.u64(static_cast<uint64_t>(*ins.scope));
+    h.boolean(ins.atomic);
+    h.u64(static_cast<uint64_t>(ins.rmwKind));
+    h.u64(static_cast<uint64_t>(ins.proxy));
+    h.u64(static_cast<uint64_t>(ins.proxyFence));
+    h.boolean(ins.storageClass.has_value());
+    if (ins.storageClass)
+        h.u64(static_cast<uint64_t>(*ins.storageClass));
+    h.boolean(ins.semSc0);
+    h.boolean(ins.semSc1);
+    h.boolean(ins.avFlag);
+    h.boolean(ins.visFlag);
+    h.boolean(ins.semAv);
+    h.boolean(ins.semVis);
+    h.str(ins.label);
+    hashOperand(h, ins.branchLhs);
+    hashOperand(h, ins.branchRhs);
+    hashOperand(h, ins.barrierId);
+}
+
+void
+hashProgram(FieldHasher &h, const Program &p)
+{
+    h.u64(static_cast<uint64_t>(p.arch));
+    h.u64(p.vars.size());
+    for (const VarDecl &v : p.vars) {
+        h.tag('v');
+        h.str(v.name);
+        h.i64(v.init);
+        h.str(v.aliasOf);
+        h.u64(static_cast<uint64_t>(v.storageClass));
+    }
+    h.u64(p.threads.size());
+    for (const Thread &t : p.threads) {
+        h.tag('t');
+        h.i64(t.placement.cta);
+        h.i64(t.placement.gpu);
+        h.i64(t.placement.sg);
+        h.i64(t.placement.wg);
+        h.i64(t.placement.qf);
+        h.boolean(t.placement.ssw);
+        h.u64(t.instrs.size());
+        for (const Instruction &ins : t.instrs)
+            hashInstruction(h, ins);
+    }
+    h.u64(static_cast<uint64_t>(p.assertKind));
+    hashCond(h, p.assertion.get());
+    hashCond(h, p.filter.get());
+}
+
+} // namespace
+
+ProgramFingerprint
+Program::fingerprint() const
+{
+    // Two independent passes with different offset bases; a collision
+    // would silently reuse the wrong cached session, so 64 bits alone
+    // is not comfortable enough.
+    FieldHasher a(14695981039346656037ull);
+    FieldHasher b(0x9e3779b97f4a7c15ull);
+    hashProgram(a, *this);
+    hashProgram(b, *this);
+    return {a.value(), b.value()};
+}
+
+std::string
+ProgramFingerprint::str() const
+{
+    char buf[33];
+    std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                  static_cast<unsigned long long>(hi),
+                  static_cast<unsigned long long>(lo));
+    return buf;
 }
 
 } // namespace gpumc::prog

@@ -8,6 +8,7 @@
 #ifndef GPUMC_PROGRAM_PROGRAM_HPP
 #define GPUMC_PROGRAM_PROGRAM_HPP
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
@@ -37,6 +38,27 @@ struct Thread {
     std::string name; // "P0", "P1", ...
     ThreadPlacement placement;
     std::vector<Instruction> instrs;
+};
+
+/**
+ * Structural 128-bit hash of a program's semantic IR (two independent
+ * 64-bit passes). Programs with equal fingerprints unroll and encode
+ * identically, so a fingerprint can key caches of verification
+ * sessions. Cosmetic fields (the litmus name, `@` metadata, source
+ * locations) do not contribute.
+ */
+struct ProgramFingerprint {
+    uint64_t hi = 0;
+    uint64_t lo = 0;
+
+    bool operator==(const ProgramFingerprint &) const = default;
+    bool operator<(const ProgramFingerprint &other) const
+    {
+        return hi != other.hi ? hi < other.hi : lo < other.lo;
+    }
+
+    /** 32 hex digits, for logs and reports. */
+    std::string str() const;
 };
 
 /** Shared-variable declaration from the litmus prelude. */
@@ -109,6 +131,10 @@ class Program {
      * register additions).
      */
     int suggestedValueBits(int bound) const;
+
+    /** Structural hash over every semantic IR field (see
+     *  ProgramFingerprint). */
+    ProgramFingerprint fingerprint() const;
 
   private:
     void validateCond(const Cond &cond, const char *what) const;

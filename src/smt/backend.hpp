@@ -43,8 +43,22 @@ class Backend {
     virtual SolveResult solve(const std::vector<Lit> &assumptions = {}) = 0;
 
     /**
+     * Allocate a fresh activation (selector) literal for assumption-
+     * guarded incremental queries. Clauses asserted as
+     * `{-act, l1, ..., ln}` only constrain the search when `act` is
+     * passed to solve() as an assumption; passing `-act` retires the
+     * group without destroying learned clauses. The default is a plain
+     * fresh variable, which is exactly what both shipped backends need
+     * — the method exists so backends with native selector support
+     * (e.g. tracked assertions) can override it.
+     */
+    virtual Lit mkActivationLit() { return newVar(); }
+
+    /**
      * Best-effort resource cap for subsequent solve() calls; when
-     * exhausted, solve returns Unknown. 0 disables the limit.
+     * exhausted, solve returns Unknown. Any value <= 0 disables the
+     * limit entirely (restores the backend's unlimited default) — both
+     * shipped backends must agree on this disable semantics.
      */
     virtual void setTimeLimitMs(int64_t) {}
 

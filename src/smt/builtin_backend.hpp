@@ -18,7 +18,9 @@ class BuiltinBackend : public Backend {
     SolveResult solve(const std::vector<Lit> &assumptions) override;
     void setTimeLimitMs(int64_t ms) override
     {
-        solver_.setTimeLimitMs(ms);
+        // Match the interface contract (and the Z3 backend): any value
+        // <= 0 disables the limit rather than starving the solver.
+        solver_.setTimeLimitMs(ms > 0 ? ms : 0);
     }
     TruthValue modelValue(Lit lit) const override;
     int64_t numVars() const override { return solver_.numVars(); }

@@ -85,9 +85,18 @@ Z3Backend::modelValue(Lit lit) const
 void
 Z3Backend::setTimeLimitMs(int64_t ms)
 {
+    // Z3 interprets timeout=0 as "0 ms budget" (every check returns
+    // unknown), not "unlimited"; its unlimited default is UINT_MAX.
+    // Clamp oversized budgets below UINT_MAX so they stay finite.
+    constexpr unsigned kUnlimited = 4294967295u; // UINT_MAX
+    unsigned timeout = kUnlimited;
+    if (ms > 0) {
+        timeout = ms < static_cast<int64_t>(kUnlimited)
+                      ? static_cast<unsigned>(ms)
+                      : kUnlimited - 1;
+    }
     z3::params params(impl_->ctx);
-    params.set("timeout",
-               static_cast<unsigned>(ms > 0 ? ms : 0));
+    params.set("timeout", timeout);
     impl_->solver.set(params);
 }
 

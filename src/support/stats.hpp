@@ -34,6 +34,49 @@ class Stopwatch {
 };
 
 /**
+ * A wall-clock deadline shared by every solver query of one property
+ * check. `Verifier` arms one deadline per check and derives each
+ * query's remaining budget from it, so a check that issues several
+ * queries (flag-violation enumeration, witness-validation re-solve)
+ * never exceeds the configured `solverTimeoutMs` N-fold.
+ */
+class Deadline {
+  public:
+    /** Unlimited deadline (never expires). */
+    Deadline() = default;
+
+    /** Deadline @p ms milliseconds from now; ms <= 0 means unlimited. */
+    static Deadline in(int64_t ms)
+    {
+        Deadline d;
+        if (ms > 0) {
+            d.limited_ = true;
+            d.expiry_ = Clock::now() + std::chrono::milliseconds(ms);
+        }
+        return d;
+    }
+
+    bool limited() const { return limited_; }
+
+    /** Remaining budget in milliseconds; 0 when expired. */
+    int64_t remainingMs() const
+    {
+        if (!limited_)
+            return 0;
+        auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+            expiry_ - Clock::now());
+        return left.count() > 0 ? left.count() : 0;
+    }
+
+    bool expired() const { return limited_ && remainingMs() == 0; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    bool limited_ = false;
+    Clock::time_point expiry_{};
+};
+
+/**
  * Named counters collected during a verification run (number of events,
  * SMT variables, clauses, ...). Useful for the encoding-size ablations.
  */

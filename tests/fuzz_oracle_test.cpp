@@ -173,6 +173,33 @@ TEST(FuzzOracle, BoundMonoOracleAgreesOnFixedSeeds)
     }
 }
 
+/**
+ * The session-reuse oracle: shared-session checkAll() must agree
+ * verdict-for-verdict with three fresh single-property sessions, on
+ * both backends, over a fixed seed set.
+ */
+TEST(FuzzOracle, SessionReuseOracleAgreesOnFixedSeeds)
+{
+    fuzz::OracleOptions options;
+    options = options.only(fuzz::OracleKind::SessionReuse);
+    for (Arch arch : {Arch::Ptx, Arch::Vulkan}) {
+        const cat::CatModel &model =
+            arch == Arch::Ptx ? ptx75Model() : vulkanModel();
+        fuzz::FuzzConfig config = fuzz::FuzzConfig::withControlFlow(arch);
+        for (uint64_t i = 0; i < 6; ++i) {
+            Program program = fuzz::randomProgram(0x5e55, i, config);
+            fuzz::OracleReport report =
+                fuzz::runOracles(program, model, options);
+            const fuzz::OracleOutcome *outcome =
+                report.find(fuzz::OracleKind::SessionReuse);
+            ASSERT_NE(outcome, nullptr);
+            EXPECT_NE(outcome->verdict, fuzz::OracleVerdict::Disagree)
+                << archName(arch) << " case " << i << ": "
+                << outcome->detail;
+        }
+    }
+}
+
 /** The injected bound-gap fault is detected as a disagreement. */
 TEST(FuzzOracle, InjectedBoundGapIsDetected)
 {

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * smt::Backend time-limit semantics, identical across both shipped
+ * backends: setTimeLimitMs(ms <= 0) must restore the backend's
+ * unlimited default, not install a zero-millisecond budget.
+ *
+ * Regression: Z3 interprets the `timeout` parameter literally, so
+ * mapping "disable" to `timeout=0` would leave every subsequent query
+ * with a 0 ms budget and turn all results into Unknown — silently
+ * poisoning any check that runs after a timed one on a shared session.
+ */
+
+#include <gtest/gtest.h>
+
+#include "smt/backend.hpp"
+
+namespace gpumc::test {
+namespace {
+
+/**
+ * Assert the pigeonhole principle PHP(holes+1, holes): every pigeon
+ * gets a hole, no hole gets two pigeons. Unsat, and hard enough that
+ * deciding it requires real search (no preprocessing shortcut).
+ */
+void
+assertPigeonhole(smt::Backend &backend, int holes)
+{
+    const int pigeons = holes + 1;
+    std::vector<std::vector<smt::Lit>> var(pigeons);
+    for (int p = 0; p < pigeons; ++p)
+        for (int h = 0; h < holes; ++h)
+            var[p].push_back(backend.newVar());
+    for (int p = 0; p < pigeons; ++p)
+        backend.addClause(var[p]);
+    for (int h = 0; h < holes; ++h)
+        for (int p = 0; p < pigeons; ++p)
+            for (int q = p + 1; q < pigeons; ++q)
+                backend.addClause({-var[p][h], -var[q][h]});
+}
+
+class TimeLimit : public ::testing::TestWithParam<smt::BackendKind> {};
+
+TEST_P(TimeLimit, ClearingTheLimitRestoresUnlimitedDefault)
+{
+    std::unique_ptr<smt::Backend> backend = smt::makeBackend(GetParam());
+    assertPigeonhole(*backend, 6);
+
+    // Install a 1 ms budget, then clear it. The solve must behave as
+    // if no limit was ever set: PHP(7,6) needs far more than 1 ms of
+    // default-budget search but is decided comfortably without one.
+    backend->setTimeLimitMs(1);
+    backend->setTimeLimitMs(0);
+    EXPECT_EQ(backend->solve(), smt::SolveResult::Unsat);
+}
+
+TEST_P(TimeLimit, NegativeValuesDisableLikeZero)
+{
+    std::unique_ptr<smt::Backend> backend = smt::makeBackend(GetParam());
+    assertPigeonhole(*backend, 6);
+    backend->setTimeLimitMs(5000);
+    backend->setTimeLimitMs(-42);
+    EXPECT_EQ(backend->solve(), smt::SolveResult::Unsat);
+}
+
+TEST_P(TimeLimit, TinyBudgetYieldsUnknown)
+{
+    std::unique_ptr<smt::Backend> backend = smt::makeBackend(GetParam());
+    // PHP(11,10) is out of reach for a 1 ms budget on any machine.
+    assertPigeonhole(*backend, 10);
+    backend->setTimeLimitMs(1);
+    EXPECT_EQ(backend->solve(), smt::SolveResult::Unknown);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, TimeLimit,
+                         ::testing::Values(smt::BackendKind::Builtin,
+                                           smt::BackendKind::Z3),
+                         [](const auto &info) {
+                             return info.param ==
+                                            smt::BackendKind::Builtin
+                                        ? "builtin"
+                                        : "z3";
+                         });
+
+} // namespace
+} // namespace gpumc::test

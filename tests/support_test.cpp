@@ -5,8 +5,10 @@
  */
 
 #include <atomic>
+#include <chrono>
 #include <gtest/gtest.h>
 #include <numeric>
+#include <thread>
 
 #include "support/diagnostics.hpp"
 #include "support/stats.hpp"
@@ -179,6 +181,36 @@ TEST(ParallelFor, SequentialFallbackIsInOrder)
     std::vector<int64_t> order;
     parallelFor(5, 1, [&](int64_t i) { order.push_back(i); });
     EXPECT_EQ(order, (std::vector<int64_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(Deadline, UnlimitedByDefault)
+{
+    Deadline deadline;
+    EXPECT_FALSE(deadline.limited());
+    EXPECT_FALSE(deadline.expired());
+    EXPECT_EQ(deadline.remainingMs(), 0);
+
+    // Non-positive budgets mean "no deadline", matching the
+    // setTimeLimitMs(<=0) disable convention of smt::Backend.
+    EXPECT_FALSE(Deadline::in(0).limited());
+    EXPECT_FALSE(Deadline::in(-25).limited());
+}
+
+TEST(Deadline, CountsDownAndExpires)
+{
+    Deadline deadline = Deadline::in(60000);
+    EXPECT_TRUE(deadline.limited());
+    EXPECT_FALSE(deadline.expired());
+    int64_t remaining = deadline.remainingMs();
+    EXPECT_GT(remaining, 0);
+    EXPECT_LE(remaining, 60000);
+
+    // A 1 ms deadline is over after a 1 ms sleep; remainingMs clamps
+    // at zero instead of going negative.
+    Deadline tiny = Deadline::in(1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    EXPECT_TRUE(tiny.expired());
+    EXPECT_EQ(tiny.remainingMs(), 0);
 }
 
 TEST(Stats, StopwatchAdvances)

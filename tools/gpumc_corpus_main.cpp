@@ -6,10 +6,14 @@
  *
  *   gpumc-corpus <directory> [--bound=N] [--backend=z3|builtin]
  *                [--jobs=N] [--timeout=MS] [--json[=FILE]]
+ *                [--fresh-sessions]
  *
  * Queries (one per file x model x property expectation) are fanned out
- * across worker threads by core::BatchVerifier; results are reported
- * in deterministic input order regardless of --jobs. Verdicts:
+ * across worker threads by core::BatchVerifier; queries of one file
+ * against one model share a live incremental session (the pipeline
+ * runs once per file x model; pass --fresh-sessions to rebuild it per
+ * query, for A/B comparison), and results are reported in
+ * deterministic input order regardless of --jobs. Verdicts:
  *   ok      verifier result matches the @expect directive
  *   FAIL    verifier result contradicts the directive
  *   UNKN    solver hit its resource budget — no verdict, not a FAIL
@@ -41,6 +45,7 @@ struct CliOptions {
     unsigned jobs = 0; // 0 = hardware concurrency
     bool jsonToStdout = false;
     std::string jsonPath;
+    bool freshSessions = false;
 };
 
 /** One expectation check, pointing at its BatchJob/BatchEntry index. */
@@ -73,7 +78,11 @@ usage()
            "  --timeout=MS  solver budget per query; exhausted queries "
            "report UNKN\n"
            "  --json[=FILE] machine-readable report to stdout (sole "
-           "output) or FILE\n";
+           "output) or FILE\n"
+           "  --fresh-sessions  rebuild the verification pipeline per "
+           "query instead\n"
+           "                of sharing one incremental session per "
+           "file x model\n";
     std::exit(2);
 }
 
@@ -116,6 +125,8 @@ parseArgs(int argc, char **argv)
             opts.verifier.backend = smt::BackendKind::Z3;
         } else if (arg == "--backend=builtin") {
             opts.verifier.backend = smt::BackendKind::Builtin;
+        } else if (arg == "--fresh-sessions") {
+            opts.freshSessions = true;
         } else if (arg == "--json") {
             opts.jsonToStdout = true;
         } else if (startsWith(arg, "--json=")) {
@@ -148,7 +159,7 @@ metaOr(const prog::Program &p, const std::string &key,
 void
 collectQueries(const prog::Program &program, const cat::CatModel &model,
                const std::string &modelTag,
-               const core::VerifierOptions &options,
+               const core::VerifierOptions &options, bool shareSession,
                std::vector<Query> &queries,
                std::vector<core::BatchJob> &batch, FileReport &report)
 {
@@ -160,6 +171,7 @@ collectQueries(const prog::Program &program, const cat::CatModel &model,
         job.model = &model;
         job.property = property;
         job.options = options;
+        job.shareSession = shareSession;
         job.label = report.file + " [" + modelTag + "] " + kind;
         batch.push_back(std::move(job));
         report.numQueries++;
@@ -213,6 +225,8 @@ struct Totals {
     int errors = 0;
     int runsWithoutExpectations = 0;
     double queryMs = 0; // summed per-query time (cpu-ish)
+    int64_t sessionsBuilt = 0;
+    int64_t sessionsReused = 0;
 };
 
 const char *
@@ -298,6 +312,8 @@ writeJson(std::ostream &os, const CliOptions &opts,
        << ", \"runsWithoutExpectations\": "
        << totals.runsWithoutExpectations
        << ", \"files\": " << reports.size()
+       << ", \"sessionsBuilt\": " << totals.sessionsBuilt
+       << ", \"sessionsReused\": " << totals.sessionsReused
        << ", \"wallMs\": " << wallMs
        << ", \"queryMs\": " << totals.queryMs << "}\n";
     os << "}\n";
@@ -357,14 +373,15 @@ main(int argc, char **argv)
             }
             programs.push_back(std::move(program));
             const prog::Program &p = programs.back();
+            const bool share = !opts.freshSessions;
             if (p.arch == prog::Arch::Ptx) {
-                collectQueries(p, ptx60, "v60", options, queries, batch,
-                               report);
-                collectQueries(p, ptx75, "v75", options, queries, batch,
-                               report);
-            } else {
-                collectQueries(p, vulkan, "vulkan", options, queries,
+                collectQueries(p, ptx60, "v60", options, share, queries,
                                batch, report);
+                collectQueries(p, ptx75, "v75", options, share, queries,
+                               batch, report);
+            } else {
+                collectQueries(p, vulkan, "vulkan", options, share,
+                               queries, batch, report);
             }
         } catch (const FatalError &error) {
             report.error = error.what();
@@ -401,6 +418,10 @@ main(int argc, char **argv)
             const core::BatchEntry &entry = entries[i];
             totals.checks++;
             totals.queryMs += entry.result.timeMs;
+            totals.sessionsBuilt +=
+                entry.result.stats.get("sessionsBuilt");
+            totals.sessionsReused +=
+                entry.result.stats.get("sessionsReused");
             const char *tag;
             if (entry.failed) {
                 totals.errors++;
@@ -436,9 +457,11 @@ main(int argc, char **argv)
         if (totals.errors > 0)
             std::printf(", %d errors", totals.errors);
         std::printf(")\n%.0f ms wall, %.0f ms summed over queries, "
-                    "%u worker%s\n",
+                    "%u worker%s; sessions built %lld, reused %lld\n",
                     wallMs, totals.queryMs, engine.jobs(),
-                    engine.jobs() == 1 ? "" : "s");
+                    engine.jobs() == 1 ? "" : "s",
+                    static_cast<long long>(totals.sessionsBuilt),
+                    static_cast<long long>(totals.sessionsReused));
     }
     if (opts.jsonToStdout) {
         writeJson(std::cout, opts, reports, queries, entries, totals,

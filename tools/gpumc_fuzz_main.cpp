@@ -3,8 +3,9 @@
  * gpumc-fuzz: differential fuzzing campaigns over random litmus
  * programs. Each case is cross-checked by four oracles (emit/reparse
  * round-trip, SMT vs the explicit-state enumerator, Z3 vs the built-in
- * solver, and bound monotonicity); disagreements are delta-debugged
- * into minimal `.litmus` repro files.
+ * solver, and bound monotonicity) plus, with --session-reuse, a fifth
+ * comparing shared-session checkAll() against fresh sessions;
+ * disagreements are delta-debugged into minimal `.litmus` repro files.
  *
  *   gpumc-fuzz [--seed=N] [--runs=N] [--jobs=N] [--arch=ptx|vulkan|both]
  *              [--profile=basic|cf|full] [--bound=N] [--out-dir=DIR]
@@ -47,6 +48,7 @@ struct CliOptions {
     int bound = 2;
     std::string outDir;
     bool injectBoundGap = false;
+    bool sessionReuse = false;
     bool shrink = true;
     int maxShrinks = 3;
     int shrinkAttempts = 400;
@@ -70,6 +72,9 @@ usage()
            "  --out-dir=DIR     write shrunken .litmus repros here\n"
            "  --inject=bound-gap  run the z3 oracle at bound k-1 — a\n"
            "                    deliberate fault to exercise shrinking\n"
+           "  --session-reuse   also cross-check every case's shared\n"
+           "                    checkAll() session against three fresh\n"
+           "                    sessions, on both backends\n"
            "  --no-shrink       report disagreements without shrinking\n"
            "  --max-shrinks=N   disagreeing cases to shrink (default 3)\n"
            "  --shrink-attempts=N  predicate budget per shrink "
@@ -132,6 +137,8 @@ parseArgs(int argc, char **argv)
                 usage();
         } else if (arg == "--inject=bound-gap") {
             opts.injectBoundGap = true;
+        } else if (arg == "--session-reuse") {
+            opts.sessionReuse = true;
         } else if (arg == "--no-shrink") {
             opts.shrink = false;
         } else if (startsWith(arg, "--max-shrinks=")) {
@@ -182,6 +189,7 @@ campaignOptions(const CliOptions &opts, prog::Arch arch,
     co.oracle.bound = opts.bound;
     if (opts.injectBoundGap)
         co.oracle.z3Bound = opts.bound - 1;
+    co.oracle.sessionReuse = opts.sessionReuse;
     co.oracle.solverTimeoutMs = opts.solverTimeoutMs;
     co.shrink = opts.shrink;
     co.maxShrinks = opts.maxShrinks;

@@ -4,9 +4,14 @@
  * paper's artifact:
  *
  *   gpumc <test.litmus|test.spvasm> <model.cat>
- *         [--property=program_spec|cat_spec|liveness]
+ *         [--property=program_spec|cat_spec|liveness] [--all-properties]
  *         [--bound=N] [--backend=z3|builtin]
  *         [--grid=X.Y] [--witness] [--dot=<out.dot>] [--explicit]
+ *
+ * --all-properties checks program_spec, liveness and cat_spec on one
+ * shared incremental session: the pipeline (unroll, analyses,
+ * structural encoding) runs once and each property is an assumption-
+ * guarded query on the same live solver.
  */
 
 #include <cstring>
@@ -28,6 +33,7 @@ struct CliOptions {
     std::string inputPath;
     std::string modelPath;
     core::Property property = core::Property::Safety;
+    bool allProperties = false;
     core::VerifierOptions verifier;
     bool useExplicit = false;
     bool printWitness = false;
@@ -42,8 +48,11 @@ usage()
         "usage: gpumc <test.litmus|test.spvasm> <model.cat> [options]\n"
         "  --property=program_spec|cat_spec|liveness  (default: "
         "program_spec)\n"
+        "  --all-properties   check all three properties on one shared\n"
+        "                     incremental session\n"
         "  --bound=N          loop unroll bound (default: 2)\n"
-        "  --timeout=MS       solver budget per query (0 = unlimited)\n"
+        "  --timeout=MS       solver budget per property check (0 = "
+        "unlimited)\n"
         "  --backend=z3|builtin\n"
         "  --grid=X.Y         thread grid for SPIR-V kernels\n"
         "  --witness          print the witness execution\n"
@@ -93,6 +102,8 @@ parseArgs(int argc, char **argv)
             } else {
                 usage();
             }
+        } else if (key == "all-properties") {
+            opts.allProperties = true;
         } else if (key == "bound") {
             opts.verifier.bound =
                 static_cast<int>(cliInt(key, value, 0, 64));
@@ -175,6 +186,54 @@ main(int argc, char **argv)
             return runExplicit(program, model);
 
         core::Verifier verifier(program, model, opts.verifier);
+
+        if (opts.allProperties) {
+            std::vector<core::VerificationResult> results =
+                verifier.checkAll();
+            bool anyUnknown = false;
+            bool allHold = true;
+            double totalMs = 0;
+            int64_t unrollUs = 0, analysisUs = 0, encodeUs = 0,
+                    solveUs = 0, built = 0, reused = 0, queries = 0;
+            for (const core::VerificationResult &result : results) {
+                const char *name =
+                    result.property == core::Property::Safety
+                        ? "program_spec"
+                    : result.property == core::Property::CatSpec
+                        ? "cat_spec"
+                        : "liveness";
+                std::cout << name << ": ";
+                if (result.unknown) {
+                    std::cout << "UNKNOWN (" << result.detail << ")\n";
+                    anyUnknown = true;
+                } else {
+                    std::cout << result.detail
+                              << (result.holds ? " [pass]" : " [fail]")
+                              << "\n";
+                    allHold = allHold && result.holds;
+                }
+                totalMs += result.timeMs;
+                unrollUs += result.stats.get("phaseUnrollUs");
+                analysisUs += result.stats.get("phaseAnalysisUs");
+                encodeUs += result.stats.get("phaseEncodeUs");
+                solveUs += result.stats.get("phaseSolveUs");
+                built += result.stats.get("sessionsBuilt");
+                reused += result.stats.get("sessionsReused");
+                queries = result.stats.get("queriesOnSharedSession");
+            }
+            std::cout << "session: built " << built << ", reused "
+                      << reused << ", shared-session queries " << queries
+                      << "\n"
+                      << "phases: unroll " << unrollUs / 1000.0
+                      << " ms, analysis " << analysisUs / 1000.0
+                      << " ms, encode " << encodeUs / 1000.0
+                      << " ms, solve " << solveUs / 1000.0 << " ms\n"
+                      << "time: " << totalMs << " ms\n";
+            if (anyUnknown)
+                return 3;
+            return allHold ? 0 : 1;
+        }
+
         core::VerificationResult result = verifier.check(opts.property);
 
         if (result.unknown) {
