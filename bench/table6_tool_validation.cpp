@@ -27,6 +27,7 @@
 #include "core/batch_verifier.hpp"
 #include "gpuverify/static_drf.hpp"
 #include "kernels/sync_kernels.hpp"
+#include "support/json.hpp"
 #include "support/string_utils.hpp"
 #include "support/thread_pool.hpp"
 
@@ -390,9 +391,12 @@ runSessionBench(const std::vector<Kernel> &corpus, unsigned jobs)
                 identical ? "identical between modes"
                           : ("MISMATCH at " + firstMismatch).c_str());
 
+    std::string mismatchJson =
+        identical ? "null" : jsonString(firstMismatch);
+
     std::ofstream json("BENCH_session_reuse.json");
     auto passJson = [&](const char *name, const SessionBenchPass &pass) {
-        json << "  \"" << name << "\": {\"wallMs\": " << pass.wallMs
+        json << "  " << jsonString(name) << ": {\"wallMs\": " << pass.wallMs
              << ", \"unrollMs\": " << pass.unrollMs
              << ", \"analysisMs\": " << pass.analysisMs
              << ", \"encodeMs\": " << pass.encodeMs
@@ -415,7 +419,8 @@ runSessionBench(const std::vector<Kernel> &corpus, unsigned jobs)
          << (fresh.encodeMs > 0 ? 1.0 - shared.encodeMs / fresh.encodeMs
                                 : 0.0)
          << ",\n  \"verdictsIdentical\": "
-         << (identical ? "true" : "false") << "\n}\n";
+         << (identical ? "true" : "false")
+         << ",\n  \"firstMismatch\": " << mismatchJson << "\n}\n";
     json.close();
     std::printf("(writing BENCH_session_reuse.json)\n");
 

@@ -1,6 +1,7 @@
 #include "analysis/relation_analysis.hpp"
 
 #include "program/event.hpp"
+#include "support/trace.hpp"
 
 namespace gpumc::analysis {
 
@@ -35,7 +36,18 @@ RelationAnalysis::baseBounds(const std::string &name)
     auto it = baseCache_.find(name);
     if (it != baseCache_.end())
         return it->second;
-    return baseCache_.emplace(name, computeBase(name)).first->second;
+    const Bounds &bounds =
+        baseCache_.emplace(name, computeBase(name)).first->second;
+    trace::Tracer &tracer = trace::Tracer::instance();
+    if (tracer.enabled()) {
+        // Gauge semantics: keep the largest bound seen, so batch runs
+        // over many programs report the worst-case pair-set sizes.
+        tracer.counterMax("rel." + name + ".ubPairs",
+                          static_cast<int64_t>(bounds.ub.size()));
+        tracer.counterMax("rel." + name + ".lbPairs",
+                          static_cast<int64_t>(bounds.lb.size()));
+    }
+    return bounds;
 }
 
 Bounds

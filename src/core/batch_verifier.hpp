@@ -58,8 +58,12 @@ struct BatchJob {
 struct BatchEntry {
     std::string label;
     VerificationResult result;
-    /** The verifier threw (malformed program, internal limit, ...);
-     *  `result` is default-constructed and `error` holds the message. */
+    /**
+     * The verifier threw (malformed program, internal limit, ...);
+     * `error` holds the message. `result` is marked unknown and still
+     * carries the job's wall-clock time plus whatever pipeline phase
+     * stats the session had collected before the failure.
+     */
     bool failed = false;
     std::string error;
 };

@@ -2,11 +2,34 @@
 
 #include "encoder/relation_encoder.hpp"
 #include "program/unroller.hpp"
+#include "support/trace.hpp"
 
 namespace gpumc::core {
 
 using prog::NodeSpecial;
 using smt::Lit;
+
+namespace {
+
+const char *
+propertyName(Property property)
+{
+    switch (property) {
+      case Property::Safety: return "safety";
+      case Property::Liveness: return "liveness";
+      case Property::CatSpec: return "cat-spec";
+    }
+    return "?";
+}
+
+/** Stats-registry convention: phase times in integer microseconds. */
+int64_t
+toUs(double ms)
+{
+    return static_cast<int64_t>(ms * 1000.0 + 0.5);
+}
+
+} // namespace
 
 Verifier::Verifier(const prog::Program &program, const cat::CatModel &model,
                    VerifierOptions options)
@@ -37,13 +60,14 @@ struct Verifier::Session {
 
     // Members run in declaration order, so the interleaved `*Ms`
     // members fence off the pipeline phases of the paper's Fig. 4:
-    // unroll -> (exec + relation) analysis -> encode -> solve.
+    // unroll -> exec analysis -> relation analysis -> encode -> solve.
     Stopwatch phaseWatch;
     prog::UnrolledProgram up;
     double unrollMs;
     analysis::ExecAnalysis exec;
+    double execAnalysisMs;
     analysis::RelationAnalysis ra;
-    double analysisMs;
+    double relAnalysisMs;
     std::unique_ptr<smt::Backend> backend;
     smt::Circuit circuit;
     encoder::ProgramEncoder pe;
@@ -67,8 +91,9 @@ struct Verifier::Session {
         : up(prog::unroll(program, options.bound)),
           unrollMs(takePhase(phaseWatch)),
           exec(up),
+          execAnalysisMs(takePhase(phaseWatch)),
           ra(exec, model),
-          analysisMs(takePhase(phaseWatch)),
+          relAnalysisMs(takePhase(phaseWatch)),
           backend(smt::makeBackend(options.backend)),
           circuit(*backend),
           pe(ra, circuit,
@@ -84,6 +109,37 @@ struct Verifier::Session {
         pe.encodeStructure();
         re.assertAxioms();
         structureEncodeMs = takePhase(phaseWatch);
+        if (trace::Tracer::instance().enabled())
+            emitBuildSpans();
+    }
+
+    /**
+     * Emit the pipeline-build phases as back-to-back trace spans. The
+     * phases already ran (they are timed by the member initializers),
+     * so the spans are reconstructed ending "now": durations are
+     * *floored* to microseconds and the start is `now - sum`, which
+     * keeps every span inside the enclosing RAII `check` span.
+     */
+    void emitBuildSpans() const
+    {
+        trace::Tracer &tracer = trace::Tracer::instance();
+        const std::pair<const char *, double> phases[] = {
+            {"phase:unroll", unrollMs},
+            {"phase:exec-analysis", execAnalysisMs},
+            {"phase:relation-analysis", relAnalysisMs},
+            {"phase:structure-encode", structureEncodeMs},
+        };
+        int64_t totalUs = 0;
+        for (const auto &[name, ms] : phases)
+            totalUs += static_cast<int64_t>(ms * 1000.0);
+        int64_t ts = tracer.nowUs() - totalUs;
+        tracer.completeSpan("session-build", ts, totalUs,
+                            {{"events", std::to_string(up.numEvents())}});
+        for (const auto &[name, ms] : phases) {
+            int64_t durUs = static_cast<int64_t>(ms * 1000.0);
+            tracer.completeSpan(name, ts, durUs);
+            ts += durUs;
+        }
     }
 
     /**
@@ -167,29 +223,48 @@ struct Verifier::Session {
     /** Stamp phase timings and solver statistics into @p result. */
     void exportStats(VerificationResult &result, bool builtSession) const
     {
-        auto us = [](double ms) {
-            return static_cast<int64_t>(ms * 1000.0 + 0.5);
-        };
         // The pipeline phases ran once, when the session was built;
         // checks served from the live session only pay property
         // encoding + solving.
-        result.stats.set("phaseUnrollUs", us(builtSession ? unrollMs : 0));
-        result.stats.set("phaseAnalysisUs",
-                         us(builtSession ? analysisMs : 0));
+        result.stats.set("phaseUnrollUs",
+                         toUs(builtSession ? unrollMs : 0));
+        result.stats.set("phaseExecAnalysisUs",
+                         toUs(builtSession ? execAnalysisMs : 0));
+        result.stats.set("phaseRelAnalysisUs",
+                         toUs(builtSession ? relAnalysisMs : 0));
+        result.stats.set(
+            "phaseAnalysisUs",
+            toUs(builtSession ? execAnalysisMs + relAnalysisMs : 0));
         result.stats.set(
             "phaseEncodeUs",
-            us((builtSession ? structureEncodeMs : 0) + checkEncodeMs));
-        result.stats.set("phaseSolveUs", us(checkSolveMs));
+            toUs((builtSession ? structureEncodeMs : 0) + checkEncodeMs));
+        result.stats.set("phaseSolveUs", toUs(checkSolveMs));
         result.stats.set("sessionsBuilt", builtSession ? 1 : 0);
         result.stats.set("sessionsReused", builtSession ? 0 : 1);
         result.stats.set("queriesOnSharedSession", queriesIssued);
         // Solver counters as deltas against the beginCheck() snapshot,
         // so each result reports its own check's work even though the
         // backend accumulates across the whole session.
+        std::string solverPrefix = "solver.";
         for (const auto &[key, value] : backend->statistics()) {
             auto it = statsBase.find(key);
             int64_t base = it == statsBase.end() ? 0 : it->second;
-            result.stats.set("solver." + key, value - base);
+            result.stats.set(solverPrefix + key, value - base);
+        }
+        // Mirror everything into the process-wide tracer so the
+        // metrics export aggregates the same registry the results
+        // carry. Size-like gauges keep their maximum; time and work
+        // counters accumulate.
+        trace::Tracer &tracer = trace::Tracer::instance();
+        if (tracer.enabled()) {
+            for (const auto &[key, value] : result.stats.all()) {
+                if (key == "events" || key == "smtVars" ||
+                    key == "smtClauses") {
+                    tracer.counterMax(key, value);
+                } else {
+                    tracer.counterAdd(key, value);
+                }
+            }
         }
     }
 };
@@ -235,13 +310,24 @@ Verifier::run(Property property)
     VerificationResult result;
     result.property = property;
 
+    trace::Span checkSpan("check");
+    checkSpan.arg("property", propertyName(property));
+
     const bool builtSession = !session_;
     if (builtSession)
         session_ = std::make_unique<Session>(program_, model_, options_);
     Session &s = *session_;
     s.beginCheck(options_.solverTimeoutMs);
-    if (!builtSession)
+    if (!builtSession) {
         s.timesReused++;
+        trace::Tracer &tracer = trace::Tracer::instance();
+        if (tracer.enabled())
+            tracer.instant("session-reused",
+                           {{"property", propertyName(property)}});
+    }
+
+    trace::Span encodeSpan("encode");
+    encodeSpan.arg("property", propertyName(property));
 
     s.ensureCommon(program_);
 
@@ -329,16 +415,27 @@ Verifier::run(Property property)
 
     // The property-specific encoding above is part of the encode phase.
     s.checkEncodeMs += Session::takePhase(s.phaseWatch);
+    encodeSpan.close();
 
     if (q.trivial) {
         result.holds = true;
         result.detail = "model has no flagged axioms";
         s.exportStats(result, builtSession);
         result.timeMs = timer.elapsedMs();
+        checkSpan.arg("outcome", "holds");
         return result;
     }
 
-    smt::SolveResult solveResult = s.query(property);
+    smt::SolveResult solveResult;
+    {
+        trace::Span solveSpan("solve");
+        solveSpan.arg("property", propertyName(property));
+        solveResult = s.query(property);
+        solveSpan.arg("result",
+                      solveResult == smt::SolveResult::Sat     ? "sat"
+                      : solveResult == smt::SolveResult::Unsat ? "unsat"
+                                                               : "unknown");
+    }
     s.checkSolveMs += Session::takePhase(s.phaseWatch);
     if (solveResult == smt::SolveResult::Unknown) {
         // Unknown is confined to this check: the solver unwound to its
@@ -349,6 +446,7 @@ Verifier::run(Property property)
         result.detail = "solver resource limit exhausted";
         s.exportStats(result, builtSession);
         result.timeMs = timer.elapsedMs();
+        checkSpan.arg("outcome", "unknown");
         return result;
     }
     bool sat = solveResult == smt::SolveResult::Sat;
@@ -386,6 +484,7 @@ Verifier::run(Property property)
     }
 
     if (sat && options_.wantWitness) {
+        trace::Span witnessSpan("witness");
         ExecutionWitness witness = extractWitness(s.ra, s.pe);
         if (property == Property::CatSpec) {
             // Record the flagged (racy) pairs in witness coordinates.
@@ -417,7 +516,26 @@ Verifier::run(Property property)
 
     s.exportStats(result, builtSession);
     result.timeMs = timer.elapsedMs();
+    checkSpan.arg("outcome", result.holds ? "holds" : "violated");
     return result;
+}
+
+bool
+Verifier::exportPipelineStats(StatsRegistry &stats) const
+{
+    if (!session_)
+        return false;
+    const Session &s = *session_;
+    stats.set("phaseUnrollUs", toUs(s.unrollMs));
+    stats.set("phaseExecAnalysisUs", toUs(s.execAnalysisMs));
+    stats.set("phaseRelAnalysisUs", toUs(s.relAnalysisMs));
+    stats.set("phaseAnalysisUs", toUs(s.execAnalysisMs + s.relAnalysisMs));
+    stats.set("phaseEncodeUs", toUs(s.structureEncodeMs + s.checkEncodeMs));
+    stats.set("phaseSolveUs", toUs(s.checkSolveMs));
+    stats.set("events", s.up.numEvents());
+    stats.set("smtVars", s.backend->numVars());
+    stats.set("smtClauses", s.backend->numClauses());
+    return true;
 }
 
 } // namespace gpumc::core

@@ -118,6 +118,16 @@ class Verifier {
      */
     void setSolverTimeoutMs(int64_t ms) { options_.solverTimeoutMs = ms; }
 
+    /**
+     * Export the phase timings and encoding sizes collected by the
+     * session built so far into @p stats (same keys as
+     * `VerificationResult::stats`). Returns false — leaving @p stats
+     * untouched — when no check has built a session yet. Used by
+     * `BatchVerifier` to attach the already-collected pipeline stats
+     * to a job that failed mid-check instead of dropping them.
+     */
+    bool exportPipelineStats(StatsRegistry &stats) const;
+
     const VerifierOptions &options() const { return options_; }
 
   private:

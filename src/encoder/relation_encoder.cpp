@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <functional>
 
+#include "support/trace.hpp"
+
 namespace gpumc::encoder {
 
 using cat::Expr;
@@ -117,6 +119,30 @@ longestPathBound(const PairSet &edges)
     return *std::max_element(best.begin(), best.end());
 }
 
+/**
+ * All base-relation names reachable from @p expr (through let
+ * references), for the tracing-time bound-size counters.
+ */
+void
+collectBaseRels(const Expr &expr, const cat::CatModel &model,
+                std::set<const Expr *> &seen, std::set<std::string> &out)
+{
+    if (!seen.insert(&expr).second)
+        return;
+    if (expr.kind == ExprKind::Name) {
+        if (expr.resolution == NameRes::BaseRel)
+            out.insert(expr.name);
+        else if (expr.resolution == NameRes::LetRef)
+            collectBaseRels(*model.lets()[expr.letIndex].expr, model,
+                            seen, out);
+        return;
+    }
+    if (expr.lhs)
+        collectBaseRels(*expr.lhs, model, seen, out);
+    if (expr.rhs)
+        collectBaseRels(*expr.rhs, model, seen, out);
+}
+
 } // namespace
 
 RelationEncoder::RelationEncoder(analysis::RelationAnalysis &ra,
@@ -128,6 +154,20 @@ RelationEncoder::RelationEncoder(analysis::RelationAnalysis &ra,
     for (const cat::Axiom &axiom : ra_.model().axioms()) {
         markPolarity(*axiom.expr,
                      axiom.kind == cat::AxiomKind::FlagNonEmpty);
+    }
+    // Under tracing, force the bound computation of every base
+    // relation the model references so the metrics export carries
+    // `rel.<name>.{ub,lb}Pairs` for all of them — even those whose
+    // encoding is later short-circuited away.
+    if (trace::Tracer::instance().enabled()) {
+        std::set<const Expr *> seen;
+        std::set<std::string> baseRels;
+        for (const cat::LetBinding &let : ra_.model().lets())
+            collectBaseRels(*let.expr, ra_.model(), seen, baseRels);
+        for (const cat::Axiom &axiom : ra_.model().axioms())
+            collectBaseRels(*axiom.expr, ra_.model(), seen, baseRels);
+        for (const std::string &name : baseRels)
+            ra_.baseBounds(name);
     }
 }
 
@@ -190,6 +230,19 @@ RelationEncoder::encode(const Expr &expr, int a, int b)
     if (it != cache_.end())
         return it->second;
 
+    // Per-.cat-relation encoding-size attribution (tracing only): the
+    // outermost *named* relation on the recursion stack is charged
+    // with every variable and clause the backend gains while its
+    // formula (including all sub-expressions) is built.
+    const std::string *attributed = nullptr;
+    if (expr.kind == ExprKind::Name && activeRel_ == nullptr &&
+        trace::Tracer::instance().enabled()) {
+        attributed = &expr.name;
+        activeRel_ = attributed;
+        activeRelVarsBase_ = c_.backend().numVars();
+        activeRelClausesBase_ = c_.backend().numClauses();
+    }
+
     Lit execBoth = c_.mkAnd(pe_.execLit(a), pe_.execLit(b));
     Lit result;
     if (bounds.lb.contains(a, b) &&
@@ -245,6 +298,16 @@ RelationEncoder::encode(const Expr &expr, int a, int b)
         }
     }
     cache_.emplace(cacheKey, result);
+    if (attributed) {
+        trace::Tracer &tracer = trace::Tracer::instance();
+        tracer.counterAdd("rel." + *attributed + ".vars",
+                          c_.backend().numVars() - activeRelVarsBase_);
+        tracer.counterAdd("rel." + *attributed + ".clauses",
+                          c_.backend().numClauses() -
+                              activeRelClausesBase_);
+        tracer.counterAdd("rel." + *attributed + ".encodedLits", 1);
+        activeRel_ = nullptr;
+    }
     return result;
 }
 

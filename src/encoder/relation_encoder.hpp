@@ -108,6 +108,13 @@ class RelationEncoder {
         succCache_;
     std::set<const cat::Expr *> wantTrue_;
     std::set<const cat::Expr *> wantFalse_;
+
+    // Tracing-only: the outermost named relation currently being
+    // encoded, and the backend var/clause counts when it started —
+    // encode() charges the deltas to `rel.<name>.{vars,clauses}`.
+    const std::string *activeRel_ = nullptr;
+    int64_t activeRelVarsBase_ = 0;
+    int64_t activeRelClausesBase_ = 0;
 };
 
 } // namespace gpumc::encoder

@@ -1,6 +1,7 @@
 #include "smt/builtin_backend.hpp"
 
 #include "support/diagnostics.hpp"
+#include "support/trace.hpp"
 
 namespace gpumc::smt {
 
@@ -34,12 +35,50 @@ BuiltinBackend::solve(const std::vector<Lit> &assumptions)
     assumps.reserve(assumptions.size());
     for (Lit l : assumptions)
         assumps.push_back(toSat(l));
-    switch (solver_.solveLimited(assumps)) {
+
+    trace::Span span("sat-solve");
+    const bool traced = trace::Tracer::instance().enabled();
+    sat::SolverStats before;
+    if (traced)
+        before = solver_.stats();
+
+    sat::Solver::Status status = solver_.solveLimited(assumps);
+
+    if (traced) {
+        const sat::SolverStats &after = solver_.stats();
+        auto delta = [](uint64_t a, uint64_t b) {
+            return std::to_string(a - b);
+        };
+        span.arg("conflicts", delta(after.conflicts, before.conflicts));
+        span.arg("decisions", delta(after.decisions, before.decisions));
+        span.arg("propagations",
+                 delta(after.propagations, before.propagations));
+        span.arg("restarts", delta(after.restarts, before.restarts));
+        trace::Tracer &tracer = trace::Tracer::instance();
+        tracer.counterAdd("sat.queries", 1);
+        tracer.counterAdd(
+            "sat.conflicts",
+            static_cast<int64_t>(after.conflicts - before.conflicts));
+        tracer.counterAdd(
+            "sat.decisions",
+            static_cast<int64_t>(after.decisions - before.decisions));
+        tracer.counterAdd("sat.propagations",
+                          static_cast<int64_t>(after.propagations -
+                                               before.propagations));
+        tracer.counterAdd(
+            "sat.restarts",
+            static_cast<int64_t>(after.restarts - before.restarts));
+    }
+
+    switch (status) {
       case sat::Solver::Status::Sat:
+        span.arg("result", "sat");
         return SolveResult::Sat;
       case sat::Solver::Status::Unsat:
+        span.arg("result", "unsat");
         return SolveResult::Unsat;
       default:
+        span.arg("result", "unknown");
         return SolveResult::Unknown;
     }
 }

@@ -131,6 +131,16 @@ Solver::Clause *
 Solver::propagate()
 {
     while (qhead_ < trail_.size()) {
+        // Long propagation runs must honour the solve deadline too:
+        // check it between literal propagations (a safe point — the
+        // watcher lists are consistent), cheaply amortized. Breaking
+        // here leaves qhead_ < trail_.size(); propagation simply
+        // resumes from the queue if the solver is used again.
+        if (deadline_.limited() && (stats_.propagations & 2047) == 0 &&
+            deadline_.expired()) {
+            timedOut_ = true;
+            return nullptr;
+        }
         Lit p = trail_[qhead_++];
         stats_.propagations++;
         auto &ws = watches_[p.index()];
@@ -368,11 +378,13 @@ Solver::search(int64_t conflictBudget, const std::vector<Lit> &assumptions,
 {
     doneOut = false;
     int64_t conflictCount = 0;
-    auto deadline = std::chrono::steady_clock::now() +
-                    std::chrono::milliseconds(timeLimitMs_);
 
     while (true) {
         Clause *conflict = propagate();
+        if (timedOut_) {
+            cancelUntil(0);
+            return false; // solveLimited reports Unknown
+        }
         if (conflict != nullptr) {
             stats_.conflicts++;
             conflictCount++;
@@ -406,11 +418,13 @@ Solver::search(int64_t conflictBudget, const std::vector<Lit> &assumptions,
             cancelUntil(0);
             return false; // restart (doneOut stays false)
         }
-        // Honour the wall-clock budget during long searches.
-        if (timeLimitMs_ > 0 && (conflictCount & 63) == 0 &&
-            std::chrono::steady_clock::now() > deadline) {
+        // Honour the shared wall-clock deadline at conflict
+        // boundaries as well (propagate() checks it mid-run).
+        if (deadline_.limited() && (conflictCount & 63) == 0 &&
+            deadline_.expired()) {
+            timedOut_ = true;
             cancelUntil(0);
-            return false; // solveLimited re-checks and reports Unknown
+            return false; // solveLimited reports Unknown
         }
         if (learnts_.size() >
             clauses_.size() * 2 + 4000 + 100 * trailLim_.size()) {
@@ -465,25 +479,28 @@ Solver::solveLimited(const std::vector<Lit> &assumptions)
         return Status::Unsat;
     model_.clear();
 
-    auto deadline = std::chrono::steady_clock::now() +
-                    std::chrono::milliseconds(timeLimitMs_);
+    // One deadline for the whole call, shared by the restart loop, the
+    // conflict loop and propagation (no more per-loop local deadlines).
+    deadline_ = Deadline::in(timeLimitMs_);
+    timedOut_ = false;
     bool done = false;
     bool result = false;
     int restarts = 0;
     while (!done) {
-        if (timeLimitMs_ > 0 &&
-            std::chrono::steady_clock::now() > deadline) {
+        if (timedOut_ || deadline_.expired()) {
             cancelUntil(0);
+            deadline_ = Deadline(); // never leaks into addClause()
             return Status::Unknown;
         }
         int64_t budget = static_cast<int64_t>(luby(2.0, restarts) * 100);
         result = search(budget, assumptions, done);
-        if (!done) {
+        if (!done && !timedOut_) {
             restarts++;
             stats_.restarts++;
         }
     }
     cancelUntil(0);
+    deadline_ = Deadline();
     return result ? Status::Sat : Status::Unsat;
 }
 

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "smt/sat/types.hpp"
+#include "support/stats.hpp"
 
 namespace gpumc::smt::sat {
 
@@ -154,6 +155,17 @@ class Solver {
     std::vector<LBool> model_;
 
     int64_t timeLimitMs_ = 0;
+    /**
+     * The one wall-clock deadline of the current solveLimited() call.
+     * Armed once per solve from timeLimitMs_ and consulted by the
+     * restart loop, the conflict loop *and* long propagation runs —
+     * previously the outer and inner loops each computed their own
+     * local deadline and only checked it at conflict boundaries, so a
+     * conflict-free propagation-heavy search could overshoot its
+     * budget arbitrarily.
+     */
+    Deadline deadline_;
+    bool timedOut_ = false;
 
     SolverStats stats_;
 };

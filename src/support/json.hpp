@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Minimal JSON emission helpers shared by every machine-readable
+ * report writer (gpumc-corpus --json, the --trace/--metrics exports,
+ * the bench emitters). One escaping routine instead of per-tool
+ * copies: a newline or control character in an error message or file
+ * path must never produce invalid JSON anywhere.
+ */
+
+#ifndef GPUMC_SUPPORT_JSON_HPP
+#define GPUMC_SUPPORT_JSON_HPP
+
+#include <string>
+#include <string_view>
+
+namespace gpumc {
+
+/**
+ * Escape @p s for embedding inside a JSON string literal (without the
+ * surrounding quotes): `"` and `\` are backslash-escaped, `\n`/`\r`/
+ * `\t` use their short forms, and every other character below 0x20
+ * becomes a `\u00XX` sequence.
+ */
+std::string jsonEscape(std::string_view s);
+
+/** @p s escaped and wrapped in double quotes. */
+std::string jsonString(std::string_view s);
+
+} // namespace gpumc
+
+#endif // GPUMC_SUPPORT_JSON_HPP

@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include "smt/backend.hpp"
+#include "support/stats.hpp"
 
 namespace gpumc::test {
 namespace {
@@ -69,6 +70,49 @@ TEST_P(TimeLimit, TinyBudgetYieldsUnknown)
     assertPigeonhole(*backend, 10);
     backend->setTimeLimitMs(1);
     EXPECT_EQ(backend->solve(), smt::SolveResult::Unknown);
+}
+
+/**
+ * Regression for the built-in solver's split deadlines: search() and
+ * solveLimited() used to keep two independent locally-derived budgets,
+ * and long unit-propagation runs checked neither — a solve could
+ * overshoot its budget by the length of whatever propagation or
+ * restart it was inside. With the single shared gpumc::Deadline the
+ * whole solve (restart loop, conflict loop and propagation runs) must
+ * come back promptly once the budget is exhausted.
+ */
+TEST_P(TimeLimit, BudgetSpansRestartSearchAndPropagationLoops)
+{
+    std::unique_ptr<smt::Backend> backend = smt::makeBackend(GetParam());
+    // Big enough that 50 ms lands mid-search, deep inside propagation
+    // runs and across several restarts.
+    assertPigeonhole(*backend, 11);
+    backend->setTimeLimitMs(50);
+    Stopwatch watch;
+    EXPECT_EQ(backend->solve(), smt::SolveResult::Unknown);
+    // Generous CI margin, but far below the minutes PHP(12,11) needs:
+    // the deadline fired from inside the loops, not after them.
+    EXPECT_LT(watch.elapsedMs(), 5000.0);
+}
+
+/**
+ * A timed-out solve must not leak its expired deadline into later
+ * incremental use of the same solver: clauses added afterwards (which
+ * propagate internally) and the next unlimited solve start fresh.
+ */
+TEST_P(TimeLimit, TimedOutSolveDoesNotPoisonLaterQueries)
+{
+    std::unique_ptr<smt::Backend> backend = smt::makeBackend(GetParam());
+    assertPigeonhole(*backend, 6);
+    backend->setTimeLimitMs(1);
+    EXPECT_EQ(backend->solve(), smt::SolveResult::Unknown);
+
+    // Adding clauses after the timeout exercises the propagation path
+    // with the (now disarmed) deadline still in scope.
+    smt::Lit extra = backend->newVar();
+    backend->addClause({extra});
+    backend->setTimeLimitMs(0);
+    EXPECT_EQ(backend->solve(), smt::SolveResult::Unsat);
 }
 
 INSTANTIATE_TEST_SUITE_P(Backends, TimeLimit,

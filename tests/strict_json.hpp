@@ -1,0 +1,296 @@
+/**
+ * @file
+ * A deliberately strict recursive-descent JSON parser for tests: any
+ * deviation from RFC 8259 (trailing commas, unescaped control
+ * characters, bad escapes, garbage after the document, ...) throws.
+ * Used to golden-check the machine-readable outputs of the tools —
+ * Chrome trace JSON, metrics JSON and the corpus --json report.
+ */
+
+#ifndef GPUMC_TESTS_STRICT_JSON_HPP
+#define GPUMC_TESTS_STRICT_JSON_HPP
+
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace gpumc::test {
+
+struct JsonValue {
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<JsonValue> array;
+    std::map<std::string, JsonValue> object;
+
+    bool isObject() const { return kind == Kind::Object; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isString() const { return kind == Kind::String; }
+    bool isNumber() const { return kind == Kind::Number; }
+
+    bool has(const std::string &key) const
+    {
+        return kind == Kind::Object && object.count(key) != 0;
+    }
+
+    const JsonValue &at(const std::string &key) const
+    {
+        if (!has(key))
+            throw std::runtime_error("missing JSON key: " + key);
+        return object.at(key);
+    }
+};
+
+class StrictJsonParser {
+  public:
+    explicit StrictJsonParser(const std::string &text) : text_(text) {}
+
+    JsonValue parse()
+    {
+        skipWs();
+        JsonValue v = parseValue();
+        skipWs();
+        if (pos_ != text_.size())
+            fail("trailing content after JSON document");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void fail(const std::string &what) const
+    {
+        throw std::runtime_error("strict JSON error at offset " +
+                                 std::to_string(pos_) + ": " + what);
+    }
+
+    char peek() const
+    {
+        if (pos_ >= text_.size())
+            throw std::runtime_error("unexpected end of JSON input");
+        return text_[pos_];
+    }
+
+    char next()
+    {
+        char c = peek();
+        pos_++;
+        return c;
+    }
+
+    void expect(char c)
+    {
+        if (next() != c)
+            fail(std::string("expected '") + c + "'");
+    }
+
+    void skipWs()
+    {
+        while (pos_ < text_.size()) {
+            char c = text_[pos_];
+            if (c == ' ' || c == '\t' || c == '\n' || c == '\r')
+                pos_++;
+            else
+                break;
+        }
+    }
+
+    JsonValue parseValue()
+    {
+        switch (peek()) {
+          case '{': return parseObject();
+          case '[': return parseArray();
+          case '"': return parseString();
+          case 't': return parseKeyword("true");
+          case 'f': return parseKeyword("false");
+          case 'n': return parseKeyword("null");
+          default: return parseNumber();
+        }
+    }
+
+    JsonValue parseKeyword(const std::string &word)
+    {
+        if (text_.compare(pos_, word.size(), word) != 0)
+            fail("invalid keyword");
+        pos_ += word.size();
+        JsonValue v;
+        if (word == "true") {
+            v.kind = JsonValue::Kind::Bool;
+            v.boolean = true;
+        } else if (word == "false") {
+            v.kind = JsonValue::Kind::Bool;
+            v.boolean = false;
+        } else {
+            v.kind = JsonValue::Kind::Null;
+        }
+        return v;
+    }
+
+    JsonValue parseObject()
+    {
+        expect('{');
+        JsonValue v;
+        v.kind = JsonValue::Kind::Object;
+        skipWs();
+        if (peek() == '}') {
+            next();
+            return v;
+        }
+        while (true) {
+            skipWs();
+            if (peek() != '"')
+                fail("object key must be a string");
+            JsonValue key = parseString();
+            skipWs();
+            expect(':');
+            skipWs();
+            if (!v.object.emplace(key.str, parseValue()).second)
+                fail("duplicate object key: " + key.str);
+            skipWs();
+            char c = next();
+            if (c == '}')
+                return v;
+            if (c != ',')
+                fail("expected ',' or '}' in object");
+        }
+    }
+
+    JsonValue parseArray()
+    {
+        expect('[');
+        JsonValue v;
+        v.kind = JsonValue::Kind::Array;
+        skipWs();
+        if (peek() == ']') {
+            next();
+            return v;
+        }
+        while (true) {
+            skipWs();
+            v.array.push_back(parseValue());
+            skipWs();
+            char c = next();
+            if (c == ']')
+                return v;
+            if (c != ',')
+                fail("expected ',' or ']' in array");
+        }
+    }
+
+    int hexDigit(char c)
+    {
+        if (c >= '0' && c <= '9')
+            return c - '0';
+        if (c >= 'a' && c <= 'f')
+            return c - 'a' + 10;
+        if (c >= 'A' && c <= 'F')
+            return c - 'A' + 10;
+        fail("invalid \\u escape digit");
+    }
+
+    JsonValue parseString()
+    {
+        expect('"');
+        JsonValue v;
+        v.kind = JsonValue::Kind::String;
+        while (true) {
+            char c = next();
+            if (c == '"')
+                return v;
+            if (static_cast<unsigned char>(c) < 0x20)
+                fail("unescaped control character in string");
+            if (c != '\\') {
+                v.str += c;
+                continue;
+            }
+            char e = next();
+            switch (e) {
+              case '"': v.str += '"'; break;
+              case '\\': v.str += '\\'; break;
+              case '/': v.str += '/'; break;
+              case 'b': v.str += '\b'; break;
+              case 'f': v.str += '\f'; break;
+              case 'n': v.str += '\n'; break;
+              case 'r': v.str += '\r'; break;
+              case 't': v.str += '\t'; break;
+              case 'u': {
+                int code = 0;
+                for (int i = 0; i < 4; ++i)
+                    code = code * 16 + hexDigit(next());
+                if (code < 0x80) {
+                    v.str += static_cast<char>(code);
+                } else {
+                    // Tests only decode ASCII; keep the escape opaque
+                    // (UTF-8 encoding of the BMP is not needed here).
+                    v.str += '?';
+                }
+                break;
+              }
+              default: fail("invalid escape sequence");
+            }
+        }
+    }
+
+    JsonValue parseNumber()
+    {
+        size_t start = pos_;
+        if (peek() == '-')
+            next();
+        if (!std::isdigit(static_cast<unsigned char>(peek())))
+            fail("invalid number");
+        // No leading zeros: "0" or [1-9][0-9]*.
+        if (next() == '0' && pos_ < text_.size() &&
+            std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+            fail("leading zero in number");
+        }
+        while (pos_ < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[pos_])))
+            pos_++;
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            pos_++;
+            if (pos_ >= text_.size() ||
+                !std::isdigit(static_cast<unsigned char>(text_[pos_])))
+                fail("digit required after decimal point");
+            while (pos_ < text_.size() &&
+                   std::isdigit(static_cast<unsigned char>(text_[pos_])))
+                pos_++;
+        }
+        if (pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            pos_++;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-'))
+                pos_++;
+            if (pos_ >= text_.size() ||
+                !std::isdigit(static_cast<unsigned char>(text_[pos_])))
+                fail("digit required in exponent");
+            while (pos_ < text_.size() &&
+                   std::isdigit(static_cast<unsigned char>(text_[pos_])))
+                pos_++;
+        }
+        JsonValue v;
+        v.kind = JsonValue::Kind::Number;
+        v.number = std::strtod(text_.substr(start, pos_ - start).c_str(),
+                               nullptr);
+        if (!std::isfinite(v.number))
+            fail("non-finite number");
+        return v;
+    }
+
+    const std::string &text_;
+    size_t pos_ = 0;
+};
+
+inline JsonValue
+parseStrictJson(const std::string &text)
+{
+    return StrictJsonParser(text).parse();
+}
+
+} // namespace gpumc::test
+
+#endif // GPUMC_TESTS_STRICT_JSON_HPP

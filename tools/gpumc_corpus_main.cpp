@@ -30,9 +30,11 @@
 #include "cat/model.hpp"
 #include "core/batch_verifier.hpp"
 #include "litmus/litmus_parser.hpp"
+#include "support/json.hpp"
 #include "support/stats.hpp"
 #include "support/string_utils.hpp"
 #include "support/thread_pool.hpp"
+#include "support/trace.hpp"
 
 using namespace gpumc;
 namespace fs = std::filesystem;
@@ -45,6 +47,8 @@ struct CliOptions {
     unsigned jobs = 0; // 0 = hardware concurrency
     bool jsonToStdout = false;
     std::string jsonPath;
+    std::string tracePath;
+    std::string metricsPath;
     bool freshSessions = false;
 };
 
@@ -79,6 +83,11 @@ usage()
            "report UNKN\n"
            "  --json[=FILE] machine-readable report to stdout (sole "
            "output) or FILE\n"
+           "  --trace=FILE  Chrome trace-event JSON of the batch run "
+           "(one lane\n"
+           "                per worker; chrome://tracing, Perfetto)\n"
+           "  --metrics=FILE  flat metrics JSON (counters + span "
+           "aggregates)\n"
            "  --fresh-sessions  rebuild the verification pipeline per "
            "query instead\n"
            "                of sharing one incremental session per "
@@ -132,6 +141,14 @@ parseArgs(int argc, char **argv)
         } else if (startsWith(arg, "--json=")) {
             opts.jsonPath = arg.substr(7);
             if (opts.jsonPath.empty())
+                usage();
+        } else if (startsWith(arg, "--trace=")) {
+            opts.tracePath = arg.substr(8);
+            if (opts.tracePath.empty())
+                usage();
+        } else if (startsWith(arg, "--metrics=")) {
+            opts.metricsPath = arg.substr(10);
+            if (opts.metricsPath.empty())
                 usage();
         } else {
             std::cerr << "gpumc-corpus: unknown option '" << arg
@@ -190,31 +207,6 @@ collectQueries(const prog::Program &program, const cat::CatModel &model,
         add("drf", core::Property::CatSpec, drf == "racefree", drf);
     if (safety.empty() && liveness.empty() && drf.empty())
         report.runsWithoutExpectations++;
-}
-
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size() + 8);
-    for (char c : s) {
-        switch (c) {
-          case '"': out += "\\\""; break;
-          case '\\': out += "\\\\"; break;
-          case '\n': out += "\\n"; break;
-          case '\t': out += "\\t"; break;
-          case '\r': out += "\\r"; break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof buf, "\\u%04x", c);
-                out += buf;
-            } else {
-                out += c;
-            }
-        }
-    }
-    return out;
 }
 
 struct Totals {
@@ -325,6 +317,7 @@ int
 main(int argc, char **argv)
 {
     CliOptions opts = parseArgs(argc, argv);
+    trace::enableFromCli(opts.tracePath, opts.metricsPath);
 
     cat::CatModel ptx60 = cat::CatModel::fromFile(
         std::string(GPUMC_CAT_DIR) + "/ptx-v6.0.cat");
@@ -463,6 +456,7 @@ main(int argc, char **argv)
                     static_cast<long long>(totals.sessionsBuilt),
                     static_cast<long long>(totals.sessionsReused));
     }
+    int code = totals.failed == 0 && totals.errors == 0 ? 0 : 1;
     if (opts.jsonToStdout) {
         writeJson(std::cout, opts, reports, queries, entries, totals,
                   engine.jobs(), wallMs);
@@ -471,13 +465,18 @@ main(int argc, char **argv)
         if (!out) {
             std::cerr << "gpumc-corpus: cannot write '" << opts.jsonPath
                       << "'\n";
-            return 2;
+            code = 2;
+        } else {
+            writeJson(out, opts, reports, queries, entries, totals,
+                      engine.jobs(), wallMs);
+            std::printf("json report written to %s\n",
+                        opts.jsonPath.c_str());
         }
-        writeJson(out, opts, reports, queries, entries, totals,
-                  engine.jobs(), wallMs);
-        std::printf("json report written to %s\n",
-                    opts.jsonPath.c_str());
     }
-
-    return totals.failed == 0 && totals.errors == 0 ? 0 : 1;
+    if (!trace::flushCliOutputs(opts.tracePath, opts.metricsPath,
+                                std::cerr) &&
+        code == 0) {
+        code = 2;
+    }
+    return code;
 }

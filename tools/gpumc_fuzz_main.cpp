@@ -34,6 +34,7 @@
 #include "cat/model.hpp"
 #include "fuzz/campaign.hpp"
 #include "support/string_utils.hpp"
+#include "support/trace.hpp"
 
 using namespace gpumc;
 
@@ -54,6 +55,8 @@ struct CliOptions {
     int shrinkAttempts = 400;
     int64_t solverTimeoutMs = 0;
     bool verifyDeterminism = false;
+    std::string tracePath;
+    std::string metricsPath;
 };
 
 [[noreturn]] void
@@ -82,7 +85,10 @@ usage()
            "  --timeout=MS      solver budget per query (0 = none)\n"
            "  --verify-determinism  run every campaign twice (1 worker "
            "vs --jobs)\n"
-           "                    and fail unless the logs are identical\n";
+           "                    and fail unless the logs are identical\n"
+           "  --trace=FILE      Chrome trace-event JSON of the campaign\n"
+           "  --metrics=FILE    flat metrics JSON (counters + span "
+           "aggregates)\n";
     std::exit(2);
 }
 
@@ -152,6 +158,14 @@ parseArgs(int argc, char **argv)
                 cliInt("--timeout", arg.substr(10), 0, INT64_MAX);
         } else if (arg == "--verify-determinism") {
             opts.verifyDeterminism = true;
+        } else if (startsWith(arg, "--trace=")) {
+            opts.tracePath = arg.substr(8);
+            if (opts.tracePath.empty())
+                usage();
+        } else if (startsWith(arg, "--metrics=")) {
+            opts.metricsPath = arg.substr(10);
+            if (opts.metricsPath.empty())
+                usage();
         } else {
             std::cerr << "gpumc-fuzz: unknown option '" << arg << "'\n";
             usage();
@@ -204,6 +218,7 @@ int
 main(int argc, char **argv)
 {
     CliOptions opts = parseArgs(argc, argv);
+    trace::enableFromCli(opts.tracePath, opts.metricsPath);
 
     cat::CatModel ptx75 = cat::CatModel::fromFile(
         std::string(GPUMC_CAT_DIR) + "/ptx-v7.5.cat");
@@ -251,5 +266,11 @@ main(int argc, char **argv)
                                     : "determinism FAILED")
                   << "\n";
     }
-    return clean && deterministic ? 0 : 1;
+    int code = clean && deterministic ? 0 : 1;
+    if (!trace::flushCliOutputs(opts.tracePath, opts.metricsPath,
+                                std::cerr) &&
+        code == 0) {
+        code = 2;
+    }
+    return code;
 }

@@ -24,6 +24,7 @@
 #include "litmus/litmus_parser.hpp"
 #include "spirv/spirv_parser.hpp"
 #include "support/string_utils.hpp"
+#include "support/trace.hpp"
 
 namespace {
 
@@ -38,6 +39,8 @@ struct CliOptions {
     bool useExplicit = false;
     bool printWitness = false;
     std::string dotPath;
+    std::string tracePath;
+    std::string metricsPath;
     std::optional<spirv::Grid> grid;
 };
 
@@ -57,6 +60,10 @@ usage()
         "  --grid=X.Y         thread grid for SPIR-V kernels\n"
         "  --witness          print the witness execution\n"
         "  --dot=FILE         write the witness as a GraphViz graph\n"
+        "  --trace=FILE       write a Chrome trace-event JSON of the\n"
+        "                     pipeline (chrome://tracing, Perfetto)\n"
+        "  --metrics=FILE     write flat metrics JSON (counters + span\n"
+        "                     aggregates)\n"
         "  --explicit         use the explicit-state (Alloy-like) "
         "checker\n";
     std::exit(2);
@@ -128,6 +135,10 @@ parseArgs(int argc, char **argv)
             opts.printWitness = true;
         } else if (key == "dot") {
             opts.dotPath = value;
+        } else if (key == "trace") {
+            opts.tracePath = value;
+        } else if (key == "metrics") {
+            opts.metricsPath = value;
         } else if (key == "explicit") {
             opts.useExplicit = true;
         } else {
@@ -160,6 +171,129 @@ runExplicit(const prog::Program &program, const cat::CatModel &model)
     return 0;
 }
 
+int
+runTool(const CliOptions &opts)
+{
+    prog::Program program;
+    if (endsWith(opts.inputPath, ".litmus")) {
+        program = litmus::parseLitmusFile(opts.inputPath);
+    } else {
+        program = spirv::loadSpirvFile(
+            opts.inputPath, opts.grid ? &*opts.grid : nullptr);
+    }
+    cat::CatModel model = cat::CatModel::fromFile(opts.modelPath);
+
+    std::cout << "test: " << program.name << " ("
+              << prog::archName(program.arch) << ", "
+              << program.numThreads() << " threads)\n"
+              << "model: " << model.name() << "\n";
+
+    if (opts.useExplicit)
+        return runExplicit(program, model);
+
+    core::Verifier verifier(program, model, opts.verifier);
+
+    if (opts.allProperties) {
+        std::vector<core::VerificationResult> results =
+            verifier.checkAll();
+        bool anyUnknown = false;
+        bool allHold = true;
+        double totalMs = 0;
+        int64_t unrollUs = 0, analysisUs = 0, encodeUs = 0,
+                solveUs = 0, built = 0, reused = 0, queries = 0;
+        for (const core::VerificationResult &result : results) {
+            const char *name =
+                result.property == core::Property::Safety
+                    ? "program_spec"
+                : result.property == core::Property::CatSpec
+                    ? "cat_spec"
+                    : "liveness";
+            std::cout << name << ": ";
+            if (result.unknown) {
+                std::cout << "UNKNOWN (" << result.detail << ")\n";
+                anyUnknown = true;
+            } else {
+                std::cout << result.detail
+                          << (result.holds ? " [pass]" : " [fail]")
+                          << "\n";
+                allHold = allHold && result.holds;
+            }
+            totalMs += result.timeMs;
+            unrollUs += result.stats.get("phaseUnrollUs");
+            analysisUs += result.stats.get("phaseAnalysisUs");
+            encodeUs += result.stats.get("phaseEncodeUs");
+            solveUs += result.stats.get("phaseSolveUs");
+            built += result.stats.get("sessionsBuilt");
+            reused += result.stats.get("sessionsReused");
+            queries = result.stats.get("queriesOnSharedSession");
+        }
+        std::cout << "session: built " << built << ", reused "
+                  << reused << ", shared-session queries " << queries
+                  << "\n"
+                  << "phases: unroll " << unrollUs / 1000.0
+                  << " ms, analysis " << analysisUs / 1000.0
+                  << " ms, encode " << encodeUs / 1000.0
+                  << " ms, solve " << solveUs / 1000.0 << " ms\n"
+                  << "time: " << totalMs << " ms\n";
+        if (anyUnknown)
+            return 3;
+        return allHold ? 0 : 1;
+    }
+
+    core::VerificationResult result = verifier.check(opts.property);
+
+    if (result.unknown) {
+        std::cout << "result: UNKNOWN (" << result.detail << ")\n";
+        return 3;
+    }
+    const char *propertyName =
+        opts.property == core::Property::Safety ? "program_spec"
+        : opts.property == core::Property::CatSpec ? "cat_spec"
+                                                   : "liveness";
+    std::cout << "property: " << propertyName << "\n"
+              << "result: " << result.detail
+              << (opts.property == core::Property::Safety
+                      ? std::string(" [") +
+                            prog::assertKindName(
+                                program.assertKind) +
+                            " statement is " +
+                            (result.holds ? "true" : "false") + "]"
+                      : result.holds ? " [pass]" : " [fail]")
+              << "\n"
+              << "events: " << result.stats.get("events")
+              << ", smt vars: " << result.stats.get("smtVars")
+              << ", clauses: " << result.stats.get("smtClauses")
+              << "\n"
+              << "phases: unroll "
+              << result.stats.get("phaseUnrollUs") / 1000.0
+              << " ms, analysis "
+              << result.stats.get("phaseAnalysisUs") / 1000.0
+              << " ms, encode "
+              << result.stats.get("phaseEncodeUs") / 1000.0
+              << " ms, solve "
+              << result.stats.get("phaseSolveUs") / 1000.0
+              << " ms\n"
+              << "solver: " << result.stats.get("solver.conflicts")
+              << " conflicts, "
+              << result.stats.get("solver.decisions")
+              << " decisions, "
+              << result.stats.get("solver.propagations")
+              << " propagations\n"
+              << "time: " << result.timeMs << " ms\n";
+
+    if (result.witness) {
+        if (opts.printWitness)
+            std::cout << "witness:\n" << result.witness->toText();
+        if (!opts.dotPath.empty()) {
+            std::ofstream dot(opts.dotPath);
+            dot << result.witness->toDot(program.name);
+            std::cout << "witness graph written to " << opts.dotPath
+                      << "\n";
+        }
+    }
+    return result.holds ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -167,125 +301,14 @@ main(int argc, char **argv)
 {
     try {
         CliOptions opts = parseArgs(argc, argv);
-
-        prog::Program program;
-        if (endsWith(opts.inputPath, ".litmus")) {
-            program = litmus::parseLitmusFile(opts.inputPath);
-        } else {
-            program = spirv::loadSpirvFile(
-                opts.inputPath, opts.grid ? &*opts.grid : nullptr);
+        trace::enableFromCli(opts.tracePath, opts.metricsPath);
+        int code = runTool(opts);
+        if (!trace::flushCliOutputs(opts.tracePath, opts.metricsPath,
+                                    std::cerr) &&
+            code == 0) {
+            code = 2;
         }
-        cat::CatModel model = cat::CatModel::fromFile(opts.modelPath);
-
-        std::cout << "test: " << program.name << " ("
-                  << prog::archName(program.arch) << ", "
-                  << program.numThreads() << " threads)\n"
-                  << "model: " << model.name() << "\n";
-
-        if (opts.useExplicit)
-            return runExplicit(program, model);
-
-        core::Verifier verifier(program, model, opts.verifier);
-
-        if (opts.allProperties) {
-            std::vector<core::VerificationResult> results =
-                verifier.checkAll();
-            bool anyUnknown = false;
-            bool allHold = true;
-            double totalMs = 0;
-            int64_t unrollUs = 0, analysisUs = 0, encodeUs = 0,
-                    solveUs = 0, built = 0, reused = 0, queries = 0;
-            for (const core::VerificationResult &result : results) {
-                const char *name =
-                    result.property == core::Property::Safety
-                        ? "program_spec"
-                    : result.property == core::Property::CatSpec
-                        ? "cat_spec"
-                        : "liveness";
-                std::cout << name << ": ";
-                if (result.unknown) {
-                    std::cout << "UNKNOWN (" << result.detail << ")\n";
-                    anyUnknown = true;
-                } else {
-                    std::cout << result.detail
-                              << (result.holds ? " [pass]" : " [fail]")
-                              << "\n";
-                    allHold = allHold && result.holds;
-                }
-                totalMs += result.timeMs;
-                unrollUs += result.stats.get("phaseUnrollUs");
-                analysisUs += result.stats.get("phaseAnalysisUs");
-                encodeUs += result.stats.get("phaseEncodeUs");
-                solveUs += result.stats.get("phaseSolveUs");
-                built += result.stats.get("sessionsBuilt");
-                reused += result.stats.get("sessionsReused");
-                queries = result.stats.get("queriesOnSharedSession");
-            }
-            std::cout << "session: built " << built << ", reused "
-                      << reused << ", shared-session queries " << queries
-                      << "\n"
-                      << "phases: unroll " << unrollUs / 1000.0
-                      << " ms, analysis " << analysisUs / 1000.0
-                      << " ms, encode " << encodeUs / 1000.0
-                      << " ms, solve " << solveUs / 1000.0 << " ms\n"
-                      << "time: " << totalMs << " ms\n";
-            if (anyUnknown)
-                return 3;
-            return allHold ? 0 : 1;
-        }
-
-        core::VerificationResult result = verifier.check(opts.property);
-
-        if (result.unknown) {
-            std::cout << "result: UNKNOWN (" << result.detail << ")\n";
-            return 3;
-        }
-        const char *propertyName =
-            opts.property == core::Property::Safety ? "program_spec"
-            : opts.property == core::Property::CatSpec ? "cat_spec"
-                                                       : "liveness";
-        std::cout << "property: " << propertyName << "\n"
-                  << "result: " << result.detail
-                  << (opts.property == core::Property::Safety
-                          ? std::string(" [") +
-                                prog::assertKindName(
-                                    program.assertKind) +
-                                " statement is " +
-                                (result.holds ? "true" : "false") + "]"
-                          : result.holds ? " [pass]" : " [fail]")
-                  << "\n"
-                  << "events: " << result.stats.get("events")
-                  << ", smt vars: " << result.stats.get("smtVars")
-                  << ", clauses: " << result.stats.get("smtClauses")
-                  << "\n"
-                  << "phases: unroll "
-                  << result.stats.get("phaseUnrollUs") / 1000.0
-                  << " ms, analysis "
-                  << result.stats.get("phaseAnalysisUs") / 1000.0
-                  << " ms, encode "
-                  << result.stats.get("phaseEncodeUs") / 1000.0
-                  << " ms, solve "
-                  << result.stats.get("phaseSolveUs") / 1000.0
-                  << " ms\n"
-                  << "solver: " << result.stats.get("solver.conflicts")
-                  << " conflicts, "
-                  << result.stats.get("solver.decisions")
-                  << " decisions, "
-                  << result.stats.get("solver.propagations")
-                  << " propagations\n"
-                  << "time: " << result.timeMs << " ms\n";
-
-        if (result.witness) {
-            if (opts.printWitness)
-                std::cout << "witness:\n" << result.witness->toText();
-            if (!opts.dotPath.empty()) {
-                std::ofstream dot(opts.dotPath);
-                dot << result.witness->toDot(program.name);
-                std::cout << "witness graph written to " << opts.dotPath
-                          << "\n";
-            }
-        }
-        return result.holds ? 0 : 1;
+        return code;
     } catch (const gpumc::FatalError &error) {
         std::cerr << "error: " << error.what() << "\n";
         return 2;
