@@ -21,6 +21,13 @@
  * on shared incremental sessions — verifying that the verdicts are
  * identical and recording the phase-time savings in
  * BENCH_session_reuse.json.
+ *
+ * --portfolio-bench runs every (kernel, property) query three times —
+ * builtin solver alone, Z3 alone, and the racing portfolio backend —
+ * verifying byte-identical verdicts and recording per-query and
+ * aggregate solve times in BENCH_portfolio.json: the portfolio should
+ * track min(builtin, z3) per query within racing overhead and beat
+ * both single backends in aggregate.
  */
 
 #include "bench/bench_util.hpp"
@@ -427,6 +434,162 @@ runSessionBench(const std::vector<Kernel> &corpus, unsigned jobs)
     return identical ? 0 : 1;
 }
 
+/** One backend's pass over the whole (kernel, property) query list. */
+struct PortfolioBenchPass {
+    double wallMs = 0;
+    double solveMs = 0;
+    std::vector<double> perQuerySolveMs;
+    std::vector<std::string> verdicts;
+};
+
+/**
+ * Portfolio-vs-single-backend comparison: all three properties of
+ * every supported kernel on shared incremental sessions, once per
+ * backend (builtin, z3, portfolio). Queries run sequentially so each
+ * race gets the machine to itself; the portfolio's helper lane draws
+ * on the process thread budget. Writes BENCH_portfolio.json; fails if
+ * any verdict differs between backends.
+ */
+int
+runPortfolioBench(const std::vector<Kernel> &corpus)
+{
+    const core::Property props[] = {core::Property::Safety,
+                                    core::Property::Liveness,
+                                    core::Property::CatSpec};
+    const char *propNames[] = {"safety", "liveness", "catspec"};
+
+    std::vector<std::string> labels;
+    for (const Kernel &kernel : corpus) {
+        if (kernel.usesFloat)
+            continue;
+        for (size_t p = 0; p < 3; ++p)
+            labels.push_back(kernel.name + " " + propNames[p]);
+    }
+
+    auto runPass = [&](smt::BackendKind backend) {
+        PortfolioBenchPass pass;
+        Stopwatch wall;
+        for (const Kernel &kernel : corpus) {
+            if (kernel.usesFloat)
+                continue;
+            core::VerifierOptions options;
+            options.backend = backend;
+            options.wantWitness = false;
+            core::Verifier verifier(kernel.program, bench::vulkanModel(),
+                                    options);
+            std::vector<core::VerificationResult> results =
+                verifier.checkAll({props[0], props[1], props[2]});
+            for (const core::VerificationResult &result : results) {
+                double ms = result.stats.get("phaseSolveUs") / 1000.0;
+                pass.perQuerySolveMs.push_back(ms);
+                pass.solveMs += ms;
+                pass.verdicts.push_back(
+                    result.unknown
+                        ? "unknown"
+                        : std::string(result.holds ? "holds("
+                                                   : "fails(") +
+                              result.detail + ")");
+            }
+        }
+        pass.wallMs = wall.elapsedMs();
+        return pass;
+    };
+
+    PortfolioBenchPass builtin = runPass(smt::BackendKind::Builtin);
+    PortfolioBenchPass z3 = runPass(smt::BackendKind::Z3);
+    PortfolioBenchPass portfolio = runPass(smt::BackendKind::Portfolio);
+
+    bool identical =
+        builtin.verdicts.size() == labels.size() &&
+        z3.verdicts.size() == labels.size() &&
+        portfolio.verdicts.size() == labels.size();
+    std::string firstMismatch;
+    for (size_t i = 0; identical && i < labels.size(); ++i) {
+        if (portfolio.verdicts[i] != builtin.verdicts[i] ||
+            portfolio.verdicts[i] != z3.verdicts[i]) {
+            identical = false;
+            firstMismatch = labels[i];
+        }
+    }
+
+    // Per-query: the race should track the faster lane. "Within
+    // noise" allows the cancellation/thread-handoff overhead — a
+    // fixed 2 ms slack plus half the faster lane again.
+    size_t withinNoise = 0;
+    double bestSingleSum = 0;
+    for (size_t i = 0; i < labels.size(); ++i) {
+        double best = std::min(builtin.perQuerySolveMs[i],
+                               z3.perQuerySolveMs[i]);
+        bestSingleSum += best;
+        if (portfolio.perQuerySolveMs[i] <= best * 1.5 + 2.0)
+            withinNoise++;
+    }
+
+    std::printf("Portfolio bench: %zu queries over %zu kernels "
+                "(3 properties each)\n\n",
+                labels.size(), labels.size() / 3);
+    std::printf("%-10s %12s %12s\n", "BACKEND", "solve ms", "wall ms");
+    std::printf("%-10s %12.1f %12.1f\n", "builtin", builtin.solveMs,
+                builtin.wallMs);
+    std::printf("%-10s %12.1f %12.1f\n", "z3", z3.solveMs, z3.wallMs);
+    std::printf("%-10s %12.1f %12.1f\n", "portfolio", portfolio.solveMs,
+                portfolio.wallMs);
+    std::printf("\nper-query best single backend, summed: %.1f ms\n",
+                bestSingleSum);
+    std::printf("portfolio within noise of the faster lane: %zu/%zu "
+                "queries\n",
+                withinNoise, labels.size());
+    std::printf("aggregate speedup vs best single backend: %.2fx\n",
+                portfolio.solveMs > 0
+                    ? std::min(builtin.solveMs, z3.solveMs) /
+                          portfolio.solveMs
+                    : 0.0);
+    std::printf("verdicts: %s\n",
+                identical ? "identical across all three backends"
+                          : ("MISMATCH at " + firstMismatch).c_str());
+
+    std::ofstream json("BENCH_portfolio.json");
+    auto passJson = [&](const char *name,
+                        const PortfolioBenchPass &pass) {
+        json << "  " << jsonString(name)
+             << ": {\"solveMs\": " << pass.solveMs
+             << ", \"wallMs\": " << pass.wallMs << "}";
+    };
+    json << "{\n  \"queries\": " << labels.size()
+         << ",\n  \"kernels\": " << labels.size() / 3 << ",\n";
+    passJson("builtin", builtin);
+    json << ",\n";
+    passJson("z3", z3);
+    json << ",\n";
+    passJson("portfolio", portfolio);
+    json << ",\n  \"bestSingleSolveMs\": " << bestSingleSum
+         << ",\n  \"aggregateSpeedupVsBestSingle\": "
+         << (portfolio.solveMs > 0
+                 ? std::min(builtin.solveMs, z3.solveMs) /
+                       portfolio.solveMs
+                 : 0.0)
+         << ",\n  \"withinNoiseQueries\": " << withinNoise
+         << ",\n  \"noiseModel\": \"portfolio <= 1.5 * "
+            "min(builtin, z3) + 2 ms\""
+         << ",\n  \"verdictsIdentical\": "
+         << (identical ? "true" : "false") << ",\n  \"firstMismatch\": "
+         << (identical ? "null" : jsonString(firstMismatch))
+         << ",\n  \"perQuery\": [\n";
+    for (size_t i = 0; i < labels.size(); ++i) {
+        json << "    {\"label\": " << jsonString(labels[i])
+             << ", \"builtinMs\": " << builtin.perQuerySolveMs[i]
+             << ", \"z3Ms\": " << z3.perQuerySolveMs[i]
+             << ", \"portfolioMs\": " << portfolio.perQuerySolveMs[i]
+             << ", \"verdict\": " << jsonString(portfolio.verdicts[i])
+             << "}" << (i + 1 < labels.size() ? "," : "") << "\n";
+    }
+    json << "  ]\n}\n";
+    json.close();
+    std::printf("(writing BENCH_portfolio.json)\n");
+
+    return identical ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -434,6 +597,7 @@ main(int argc, char **argv)
 {
     unsigned jobs = 0; // hardware concurrency
     bool sessionBench = false;
+    bool portfolioBench = false;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (startsWith(arg, "--jobs=")) {
@@ -445,11 +609,15 @@ main(int argc, char **argv)
             jobs = static_cast<unsigned>(*n);
         } else if (arg == "--session-bench") {
             sessionBench = true;
+        } else if (arg == "--portfolio-bench") {
+            portfolioBench = true;
         }
     }
 
     if (sessionBench)
         return runSessionBench(generateKernelCorpus(), jobs);
+    if (portfolioBench)
+        return runPortfolioBench(generateKernelCorpus());
 
     std::vector<Kernel> corpus = generateKernelCorpus();
     std::printf("Table 6: DRF verification of %zu kernels "

@@ -28,7 +28,8 @@ using SessionKey = std::tuple<uint64_t, uint64_t,       // fingerprint
                               int,                      // effective bits
                               bool, bool,               // encoder ablations
                               bool, bool,               // witness handling
-                              int64_t>;                 // solver budget
+                              int64_t,                  // solver budget
+                              int>;                     // cube depth
 
 SessionKey
 sessionKey(const BatchJob &job, const prog::ProgramFingerprint &fp)
@@ -48,7 +49,8 @@ sessionKey(const BatchJob &job, const prog::ProgramFingerprint &fp)
             o.forceClosureSoundness,
             o.validateWitness,
             o.wantWitness,
-            o.solverTimeoutMs};
+            o.solverTimeoutMs,
+            o.cubeDepth};
 }
 
 } // namespace

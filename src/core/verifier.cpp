@@ -94,7 +94,8 @@ struct Verifier::Session {
           execAnalysisMs(takePhase(phaseWatch)),
           ra(exec, model),
           relAnalysisMs(takePhase(phaseWatch)),
-          backend(smt::makeBackend(options.backend)),
+          backend(smt::makeBackend(options.backend,
+                                   smt::BackendConfig{options.cubeDepth})),
           circuit(*backend),
           pe(ra, circuit,
              encoder::EncoderOptions{
@@ -207,15 +208,14 @@ struct Verifier::Session {
             assumptions.push_back(p == property ? q.activation
                                                 : -q.activation);
         }
-        if (deadline.expired())
-            return smt::SolveResult::Unknown;
-        // Explicitly (re)set the limit before every query: derives the
+        // Explicitly (re)arm the limit before every query: derives the
         // remaining per-check budget from the shared deadline, and
         // resets any budget a previous (possibly timed-out) check left
-        // behind so it cannot poison this query.
-        backend->setTimeLimitMs(
-            deadline.limited() ? std::max<int64_t>(1, deadline.remainingMs())
-                               : 0);
+        // behind so it cannot poison this query. armTimeLimit refuses
+        // an already-expired deadline — remainingMs() == 0 must map to
+        // "Unknown now", never to setTimeLimitMs(0) ("unlimited").
+        if (!smt::armTimeLimit(*backend, deadline))
+            return smt::SolveResult::Unknown;
         queriesIssued++;
         return backend->solve(assumptions);
     }

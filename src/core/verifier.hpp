@@ -60,6 +60,13 @@ struct VerifierOptions {
     int64_t solverTimeoutMs = 0;
     /** Extract an execution witness on SAT results. */
     bool wantWitness = true;
+    /**
+     * Cube-and-conquer split depth inside the builtin CDCL solver
+     * (also the builtin lane of the portfolio backend): each query is
+     * split into 2^depth cubes on high-activity variables and farmed
+     * through the shared thread budget. 0 = disabled.
+     */
+    int cubeDepth = 0;
 };
 
 struct VerificationResult {

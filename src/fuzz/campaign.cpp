@@ -204,6 +204,20 @@ runCampaign(const CampaignOptions &options)
         });
     }
 
+    // Phase 4c: the portfolio-vs-single differential, likewise
+    // self-contained per case (a racing checkAll() vs each single
+    // backend); the portfolio's own lanes draw on the same thread
+    // budget as these workers, so --jobs stays a global cap.
+    std::vector<OracleOutcome> portfolioOutcomes(
+        static_cast<size_t>(runs));
+    if (oracle.portfolioVsSingle) {
+        parallelFor(runs, options.jobs, [&](int64_t i) {
+            const size_t n = static_cast<size_t>(i);
+            portfolioOutcomes[n] =
+                portfolioVsSingleOracle(programs[n], model, oracle);
+        });
+    }
+
     // Phase 5: compare, sequentially in input order.
     std::vector<size_t> disagreeing;
     for (int i = 0; i < runs; ++i) {
@@ -231,6 +245,8 @@ runCampaign(const CampaignOptions &options)
         OracleReport report = compareOracles(inputs, oracle);
         if (oracle.sessionReuse)
             report.outcomes.push_back(reuseOutcomes[n]);
+        if (oracle.portfolioVsSingle)
+            report.outcomes.push_back(portfolioOutcomes[n]);
         for (const OracleOutcome &o : report.outcomes) {
             result.oracleChecks++;
             switch (o.verdict) {

@@ -16,6 +16,9 @@
  *                     must agree verdict-for-verdict (including detail
  *                     strings, with witness validation on) with three
  *                     fresh-session checks, on both backends
+ *  - portfolio-vs-single: the racing portfolio backend must agree
+ *                     verdict-for-verdict with the builtin and Z3
+ *                     backends run alone, whichever lane wins the race
  *
  * The harness can run self-contained (runOracles, used by the shrinker
  * and the tests) or compare results produced elsewhere (compareOracles,
@@ -41,7 +44,8 @@ enum class OracleKind {
     SmtVsExplicit,
     Z3VsBuiltin,
     BoundMono,
-    SessionReuse
+    SessionReuse,
+    PortfolioVsSingle
 };
 
 const char *oracleName(OracleKind kind);
@@ -89,6 +93,12 @@ struct OracleOptions {
      * opt in explicitly.
      */
     bool sessionReuse = false;
+    /**
+     * Portfolio-vs-single-backend differential (self-contained in
+     * runOracles, like sessionReuse). Off by default: it re-verifies
+     * every property on three backends.
+     */
+    bool portfolioVsSingle = false;
 
     uint64_t explicitMaxCandidates = 50000;
     double explicitTimeoutMs = 3000;
@@ -160,6 +170,17 @@ OracleReport compareOracles(const OracleInputs &inputs,
 OracleOutcome sessionReuseOracle(const prog::Program &program,
                                  const cat::CatModel &model,
                                  const OracleOptions &options);
+
+/**
+ * Run just the portfolio-vs-single differential (self-contained): a
+ * checkAll() on the portfolio backend must agree on holds/unknown,
+ * property for property, with checkAll() on the builtin backend and on
+ * Z3 alone. Used by runOracles when `options.portfolioVsSingle` is set
+ * and by the campaign driver, which fans it across workers itself.
+ */
+OracleOutcome portfolioVsSingleOracle(const prog::Program &program,
+                                      const cat::CatModel &model,
+                                      const OracleOptions &options);
 
 /** Run every enabled engine sequentially and cross-check. */
 OracleReport runOracles(const prog::Program &program,

@@ -2,9 +2,11 @@
  * @file
  * Solver-independent backend interface. The encoder produces plain CNF
  * through this interface, so any backend that can handle clauses over
- * boolean variables plugs in. Two implementations ship with gpumc:
+ * boolean variables plugs in. Three implementations ship with gpumc:
  *  - BuiltinBackend: the from-scratch CDCL solver in smt/sat.
  *  - Z3Backend: the native Z3 C++ API.
+ *  - PortfolioBackend: both of the above racing on every query with
+ *    first-wins cancellation (smt/portfolio_backend.hpp).
  */
 
 #ifndef GPUMC_SMT_BACKEND_HPP
@@ -15,6 +17,8 @@
 #include <memory>
 #include <string>
 #include <vector>
+
+#include "support/stats.hpp"
 
 namespace gpumc::smt {
 
@@ -62,6 +66,25 @@ class Backend {
      */
     virtual void setTimeLimitMs(int64_t) {}
 
+    /**
+     * Cooperative cancellation: ask an in-flight solve() (typically on
+     * another thread) to stop at its next poll point and return
+     * Unknown. Must be safe to call from any thread, at any time —
+     * including when no solve is running, in which case the request
+     * may cancel the *next* solve until clearInterrupt() is called.
+     * The backend must remain usable afterwards: an interrupted solve
+     * leaves no residue beyond its Unknown result (learned clauses are
+     * kept), exactly like a timeout. Default: no-op (the interrupt is
+     * simply never observed).
+     */
+    virtual void interrupt() {}
+
+    /**
+     * Withdraw a pending interrupt() so later solve() calls run to
+     * completion. Called by the portfolio racer between queries.
+     */
+    virtual void clearInterrupt() {}
+
     /** Model value of @p lit after a Sat result. */
     virtual TruthValue modelValue(Lit lit) const = 0;
 
@@ -89,10 +112,36 @@ class Backend {
 };
 
 /** Which backend a verification run should use. */
-enum class BackendKind { Z3, Builtin };
+enum class BackendKind { Z3, Builtin, Portfolio };
+
+/** Stable lower-case name for CLI flags and test parameter labels. */
+const char *backendKindName(BackendKind kind);
+
+/** Construction-time knobs that are not part of the query interface. */
+struct BackendConfig {
+    /**
+     * Cube-and-conquer split depth for the builtin CDCL solver: split
+     * each query on the 2^depth sign combinations of the `depth`
+     * highest-activity unassigned variables and farm the cubes through
+     * the shared thread budget. 0 (default) disables cubing.
+     */
+    int cubeDepth = 0;
+};
 
 /** Factory. */
-std::unique_ptr<Backend> makeBackend(BackendKind kind);
+std::unique_ptr<Backend> makeBackend(BackendKind kind,
+                                     const BackendConfig &config = {});
+
+/**
+ * Arm @p backend's time limit from @p deadline, honouring the
+ * "<= 0 disables" contract of setTimeLimitMs: an unlimited deadline
+ * restores the unlimited default and an expired one must NOT be
+ * forwarded as remainingMs() == 0 (that would launch an unbounded
+ * solve). Returns false when the deadline has already expired — the
+ * caller must then report Unknown instead of solving; as defence in
+ * depth the backend is still armed with a 1 ms budget.
+ */
+bool armTimeLimit(Backend &backend, const Deadline &deadline);
 
 } // namespace gpumc::smt
 

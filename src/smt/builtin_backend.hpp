@@ -1,10 +1,19 @@
 /**
  * @file
- * Backend adapter over the built-in CDCL solver.
+ * Backend adapter over the built-in CDCL solver, with an optional
+ * cube-and-conquer mode: when constructed with cubeDepth > 0, each
+ * solve() splits on the sign combinations of the highest-activity
+ * unassigned variables and farms the cubes through the shared thread
+ * budget, first-Sat-wins (lowest cube index, for determinism).
  */
 
 #ifndef GPUMC_SMT_BUILTIN_BACKEND_HPP
 #define GPUMC_SMT_BUILTIN_BACKEND_HPP
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <utility>
 
 #include "smt/backend.hpp"
 #include "smt/sat/solver.hpp"
@@ -13,6 +22,10 @@ namespace gpumc::smt {
 
 class BuiltinBackend : public Backend {
   public:
+    explicit BuiltinBackend(const BackendConfig &config = {})
+        : cubeDepth_(config.cubeDepth)
+    {}
+
     Lit newVar() override;
     void addClause(const std::vector<Lit> &clause) override;
     SolveResult solve(const std::vector<Lit> &assumptions) override;
@@ -20,8 +33,11 @@ class BuiltinBackend : public Backend {
     {
         // Match the interface contract (and the Z3 backend): any value
         // <= 0 disables the limit rather than starving the solver.
-        solver_.setTimeLimitMs(ms > 0 ? ms : 0);
+        timeLimitMs_ = ms > 0 ? ms : 0;
+        solver_.setTimeLimitMs(timeLimitMs_);
     }
+    void interrupt() override;
+    void clearInterrupt() override;
     TruthValue modelValue(Lit lit) const override;
     int64_t numVars() const override { return solver_.numVars(); }
     int64_t numClauses() const override { return numClauses_; }
@@ -36,10 +52,28 @@ class BuiltinBackend : public Backend {
         return sat::mkLit(std::abs(l) - 1, l < 0);
     }
 
+    SolveResult solveMain(const std::vector<sat::Lit> &assumps);
+    SolveResult solveCubes(const std::vector<sat::Lit> &assumps);
+
     sat::Solver solver_;
+    int cubeDepth_ = 0;
+    int64_t timeLimitMs_ = 0;
     int64_t numClauses_ = 0;
     int64_t solveCalls_ = 0;
     bool unsat_ = false;
+
+    // --- cube-and-conquer state (all idle when cubeDepth_ == 0) ------
+    /** Original clauses, replayed into the per-cube solvers. */
+    std::vector<std::vector<sat::Lit>> recorded_;
+    /** The cube solver whose model answered the last Sat query. */
+    std::unique_ptr<sat::Solver> cubeModel_;
+    /** In-flight cube solvers, so interrupt() can reach them. */
+    std::vector<std::pair<int, sat::Solver *>> activeCubes_;
+    mutable std::mutex cubeMutex_;
+    std::atomic<bool> interruptRequested_{false};
+    sat::SolverStats cubeStats_;
+    int64_t cubeSolves_ = 0;
+    int64_t cubeRounds_ = 0;
 };
 
 } // namespace gpumc::smt

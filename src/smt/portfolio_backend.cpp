@@ -1,0 +1,211 @@
+#include "smt/portfolio_backend.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "smt/builtin_backend.hpp"
+#include "smt/z3_backend.hpp"
+#include "support/diagnostics.hpp"
+#include "support/thread_budget.hpp"
+#include "support/trace.hpp"
+
+namespace gpumc::smt {
+
+namespace {
+
+std::atomic<int64_t> gTestDelayBuiltinMs{0};
+std::atomic<int64_t> gTestDelayZ3Ms{0};
+
+const char *
+resultName(SolveResult r)
+{
+    switch (r) {
+      case SolveResult::Sat:
+        return "sat";
+      case SolveResult::Unsat:
+        return "unsat";
+      default:
+        return "unknown";
+    }
+}
+
+} // namespace
+
+void
+PortfolioBackend::setTestDelays(int64_t builtinMs, int64_t z3Ms)
+{
+    gTestDelayBuiltinMs.store(builtinMs, std::memory_order_relaxed);
+    gTestDelayZ3Ms.store(z3Ms, std::memory_order_relaxed);
+}
+
+PortfolioBackend::PortfolioBackend(const BackendConfig &config)
+    : builtin_(std::make_unique<BuiltinBackend>(config)),
+      z3_(std::make_unique<Z3Backend>())
+{}
+
+PortfolioBackend::~PortfolioBackend() = default;
+
+Lit
+PortfolioBackend::newVar()
+{
+    Lit a = builtin_->newVar();
+    Lit b = z3_->newVar();
+    GPUMC_ASSERT(a == b, "portfolio lanes disagree on variable numbering");
+    return a;
+}
+
+Lit
+PortfolioBackend::mkActivationLit()
+{
+    Lit a = builtin_->mkActivationLit();
+    Lit b = z3_->mkActivationLit();
+    GPUMC_ASSERT(a == b, "portfolio lanes disagree on activation literals");
+    return a;
+}
+
+void
+PortfolioBackend::addClause(const std::vector<Lit> &clause)
+{
+    builtin_->addClause(clause);
+    z3_->addClause(clause);
+}
+
+void
+PortfolioBackend::setTimeLimitMs(int64_t ms)
+{
+    builtin_->setTimeLimitMs(ms);
+    z3_->setTimeLimitMs(ms);
+}
+
+void
+PortfolioBackend::interrupt()
+{
+    builtin_->interrupt();
+    z3_->interrupt();
+}
+
+void
+PortfolioBackend::clearInterrupt()
+{
+    builtin_->clearInterrupt();
+    z3_->clearInterrupt();
+}
+
+SolveResult
+PortfolioBackend::solve(const std::vector<Lit> &assumptions)
+{
+    solveCalls_++;
+
+    // One helper slot carries the Z3 lane; the builtin lane runs on
+    // the calling thread. With no slot free (the batch layer already
+    // saturated --jobs) solve sequentially on the builtin lane — the
+    // verdict is the same either way, only slower.
+    ThreadBudget::Lease lease(1);
+    if (lease.granted() == 0) {
+        sequentialSolves_++;
+        winner_ = kBuiltin;
+        return builtin_->solve(assumptions);
+    }
+
+    races_++;
+    if (!pool_)
+        pool_ = std::make_unique<ThreadPool>(1);
+
+    std::atomic<int> first{-1};
+    SolveResult results[2] = {SolveResult::Unknown, SolveResult::Unknown};
+
+    auto runLane = [&](int self) {
+        trace::Span span("portfolio-lane");
+        Backend &mine = lane(self);
+        Backend &other = lane(1 - self);
+        span.arg("backend", mine.name());
+        int64_t delay =
+            (self == kBuiltin ? gTestDelayBuiltinMs : gTestDelayZ3Ms)
+                .load(std::memory_order_relaxed);
+        if (delay > 0)
+            std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+        SolveResult result = mine.solve(assumptions);
+        results[self] = result;
+        if (result != SolveResult::Unknown) {
+            int expected = -1;
+            if (first.compare_exchange_strong(expected, self)) {
+                interruptsIssued_.fetch_add(1, std::memory_order_relaxed);
+                other.interrupt();
+            }
+        }
+        span.arg("result", resultName(result));
+    };
+
+    pool_->submit([&] { runLane(kZ3); });
+    runLane(kBuiltin);
+    pool_->wait();
+
+    // Withdraw the loser's pending interrupt so the next query (the
+    // sessions are incremental) runs cleanly on both lanes.
+    builtin_->clearInterrupt();
+    z3_->clearInterrupt();
+
+    int winner = first.load(std::memory_order_relaxed);
+    if (winner < 0) {
+        // Both lanes exhausted their budget (or were interrupted from
+        // outside): genuinely Unknown.
+        winner_ = kBuiltin;
+        return SolveResult::Unknown;
+    }
+    winner_ = winner;
+    (winner == kBuiltin ? winsBuiltin_ : winsZ3_)++;
+
+    trace::Tracer &tracer = trace::Tracer::instance();
+    if (tracer.enabled()) {
+        tracer.instant("portfolio.winner",
+                       {{"backend", lane(winner).name()},
+                        {"result", resultName(results[winner])}});
+        tracer.counterAdd("portfolio.races", 1);
+        tracer.counterAdd(winner == kBuiltin ? "portfolio.winsBuiltin"
+                                             : "portfolio.winsZ3",
+                          1);
+    }
+    return results[winner];
+}
+
+TruthValue
+PortfolioBackend::modelValue(Lit lit) const
+{
+    return lane(winner_).modelValue(lit);
+}
+
+int64_t
+PortfolioBackend::numVars() const
+{
+    return builtin_->numVars();
+}
+
+int64_t
+PortfolioBackend::numClauses() const
+{
+    return builtin_->numClauses();
+}
+
+std::map<std::string, int64_t>
+PortfolioBackend::statistics() const
+{
+    // Everything except solveCalls lives under a portfolio.* prefix so
+    // the verifier's per-result deltas (exported as solver.<key>) land
+    // on keys distinct from any single backend's — a cancelled lane's
+    // counters never masquerade as the winner's.
+    std::map<std::string, int64_t> out;
+    out["solveCalls"] = solveCalls_;
+    out["portfolio.races"] = races_;
+    out["portfolio.sequentialSolves"] = sequentialSolves_;
+    out["portfolio.winsBuiltin"] = winsBuiltin_;
+    out["portfolio.winsZ3"] = winsZ3_;
+    out["portfolio.interrupts"] =
+        interruptsIssued_.load(std::memory_order_relaxed);
+    for (const auto &[key, value] : builtin_->statistics())
+        out["portfolio.builtin." + key] = value;
+    for (const auto &[key, value] : z3_->statistics())
+        out["portfolio.z3." + key] = value;
+    return out;
+}
+
+} // namespace gpumc::smt

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Portfolio backend: the builtin CDCL solver and Z3 racing on every
+ * query with first-wins cancellation.
+ *
+ * Every newVar/addClause/mkActivationLit is mirrored into both child
+ * backends, so their variable numbering stays identical and either one
+ * can answer any query. solve() runs the builtin lane on the calling
+ * thread and the Z3 lane on a persistent helper thread; the first lane
+ * to produce a definitive verdict (Sat or Unsat) interrupts the other
+ * and its answer is returned. Both verdicts are by construction equal
+ * (the backends decide the same formula), so the race only affects
+ * wall time — and which backend's model serves witness extraction.
+ *
+ * Learned clauses persist in whichever lane earned them: an
+ * interrupted lane keeps everything it derived before the cancel,
+ * exactly as it would across a timeout, so shared incremental
+ * sessions keep amortizing across queries on both lanes.
+ *
+ * The helper thread is leased from the process-wide ThreadBudget; when
+ * no slot is free (e.g. BatchVerifier already saturated `--jobs`), the
+ * query falls back to a sequential builtin solve, keeping total
+ * concurrency capped and verdicts unchanged.
+ */
+
+#ifndef GPUMC_SMT_PORTFOLIO_BACKEND_HPP
+#define GPUMC_SMT_PORTFOLIO_BACKEND_HPP
+
+#include <atomic>
+#include <memory>
+
+#include "smt/backend.hpp"
+#include "support/thread_pool.hpp"
+
+namespace gpumc::smt {
+
+class PortfolioBackend : public Backend {
+  public:
+    explicit PortfolioBackend(const BackendConfig &config = {});
+    ~PortfolioBackend() override;
+
+    Lit newVar() override;
+    void addClause(const std::vector<Lit> &clause) override;
+    SolveResult solve(const std::vector<Lit> &assumptions) override;
+    Lit mkActivationLit() override;
+    void setTimeLimitMs(int64_t ms) override;
+    void interrupt() override;
+    void clearInterrupt() override;
+    TruthValue modelValue(Lit lit) const override;
+    int64_t numVars() const override;
+    int64_t numClauses() const override;
+    std::string name() const override { return "portfolio"; }
+    std::map<std::string, int64_t> statistics() const override;
+
+    /**
+     * Test hook: delay each lane's solve by the given amount, forcing
+     * a chosen winner regardless of relative solver speed. Applies to
+     * every PortfolioBackend in the process; reset with (0, 0).
+     */
+    static void setTestDelays(int64_t builtinMs, int64_t z3Ms);
+
+  private:
+    static constexpr int kBuiltin = 0;
+    static constexpr int kZ3 = 1;
+
+    Backend &lane(int which) const
+    {
+        return which == kZ3 ? *z3_ : *builtin_;
+    }
+
+    std::unique_ptr<Backend> builtin_;
+    std::unique_ptr<Backend> z3_;
+    /** Persistent helper thread for the Z3 lane, created on first race. */
+    std::unique_ptr<ThreadPool> pool_;
+
+    /** Lane whose model answers modelValue() after the last solve. */
+    int winner_ = kBuiltin;
+    int64_t solveCalls_ = 0;
+    int64_t races_ = 0;
+    int64_t sequentialSolves_ = 0;
+    int64_t winsBuiltin_ = 0;
+    int64_t winsZ3_ = 0;
+    std::atomic<int64_t> interruptsIssued_{0};
+};
+
+} // namespace gpumc::smt
+
+#endif // GPUMC_SMT_PORTFOLIO_BACKEND_HPP

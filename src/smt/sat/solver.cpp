@@ -131,13 +131,17 @@ Solver::Clause *
 Solver::propagate()
 {
     while (qhead_ < trail_.size()) {
-        // Long propagation runs must honour the solve deadline too:
-        // check it between literal propagations (a safe point — the
-        // watcher lists are consistent), cheaply amortized. Breaking
-        // here leaves qhead_ < trail_.size(); propagation simply
-        // resumes from the queue if the solver is used again.
-        if (deadline_.limited() && (stats_.propagations & 2047) == 0 &&
-            deadline_.expired()) {
+        // Long propagation runs must honour the solve deadline and
+        // cross-thread interrupts too: check between literal
+        // propagations (a safe point — the watcher lists are
+        // consistent), cheaply amortized. The interrupt flag is polled
+        // even when no time limit is armed — portfolio racing cancels
+        // unlimited solves. Breaking here leaves qhead_ <
+        // trail_.size(); propagation simply resumes from the queue if
+        // the solver is used again.
+        if ((stats_.propagations & 2047) == 0 &&
+            (interrupted_.load(std::memory_order_relaxed) ||
+             (deadline_.limited() && deadline_.expired()))) {
             timedOut_ = true;
             return nullptr;
         }
@@ -418,10 +422,12 @@ Solver::search(int64_t conflictBudget, const std::vector<Lit> &assumptions,
             cancelUntil(0);
             return false; // restart (doneOut stays false)
         }
-        // Honour the shared wall-clock deadline at conflict
-        // boundaries as well (propagate() checks it mid-run).
-        if (deadline_.limited() && (conflictCount & 63) == 0 &&
-            deadline_.expired()) {
+        // Honour the shared wall-clock deadline and interrupt flag at
+        // conflict boundaries as well (propagate() checks them
+        // mid-run).
+        if ((conflictCount & 63) == 0 &&
+            (interrupted_.load(std::memory_order_relaxed) ||
+             (deadline_.limited() && deadline_.expired()))) {
             timedOut_ = true;
             cancelUntil(0);
             return false; // solveLimited reports Unknown
@@ -487,7 +493,8 @@ Solver::solveLimited(const std::vector<Lit> &assumptions)
     bool result = false;
     int restarts = 0;
     while (!done) {
-        if (timedOut_ || deadline_.expired()) {
+        if (timedOut_ || interrupted_.load(std::memory_order_relaxed) ||
+            deadline_.expired()) {
             cancelUntil(0);
             deadline_ = Deadline(); // never leaks into addClause()
             return Status::Unknown;
@@ -502,6 +509,24 @@ Solver::solveLimited(const std::vector<Lit> &assumptions)
     cancelUntil(0);
     deadline_ = Deadline();
     return result ? Status::Sat : Status::Unsat;
+}
+
+std::vector<Var>
+Solver::topActivityVars(int n) const
+{
+    std::vector<Var> vars;
+    for (Var v = 0; v < numVars(); ++v) {
+        if (assigns_[v] == LBool::Undef)
+            vars.push_back(v);
+    }
+    std::sort(vars.begin(), vars.end(), [this](Var a, Var b) {
+        if (activity_[a] != activity_[b])
+            return activity_[a] > activity_[b];
+        return a < b;
+    });
+    if (n >= 0 && vars.size() > static_cast<size_t>(n))
+        vars.resize(static_cast<size_t>(n));
+    return vars;
 }
 
 LBool

@@ -14,6 +14,7 @@
 #ifndef GPUMC_SMT_SAT_SOLVER_HPP
 #define GPUMC_SMT_SAT_SOLVER_HPP
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -69,6 +70,33 @@ class Solver {
 
     /** Wall-clock budget per solveLimited call; 0 disables. */
     void setTimeLimitMs(int64_t ms) { timeLimitMs_ = ms; }
+
+    /**
+     * Cooperative cancellation from another thread: the flag is polled
+     * (relaxed loads) at the same amortized points as the deadline —
+     * in propagate(), at conflict boundaries in search() and at the
+     * top of the restart loop — but unlike the deadline it is checked
+     * even when no time limit is armed. An interrupted solveLimited()
+     * returns Unknown; learned clauses and activities survive exactly
+     * as they do across a timeout. The flag stays raised until
+     * clearInterrupt(), so an interrupt that wins a race with solve
+     * entry still cancels that solve.
+     */
+    void interrupt() { interrupted_.store(true, std::memory_order_relaxed); }
+
+    /** Withdraw a pending interrupt(). */
+    void clearInterrupt()
+    {
+        interrupted_.store(false, std::memory_order_relaxed);
+    }
+
+    /**
+     * The @p n unassigned (at the root level) variables with the
+     * highest VSIDS activity — ties broken by variable index, so the
+     * result is deterministic. Used by cube-and-conquer to pick split
+     * variables; earlier queries on the same solver warm the scores.
+     */
+    std::vector<Var> topActivityVars(int n) const;
 
     /** Value of a literal in the last model (solve() returned true). */
     LBool modelValue(Lit l) const;
@@ -166,6 +194,8 @@ class Solver {
      */
     Deadline deadline_;
     bool timedOut_ = false;
+    /** Cross-thread cancellation request; see interrupt(). */
+    std::atomic<bool> interrupted_{false};
 
     SolverStats stats_;
 };

@@ -2,6 +2,8 @@
 
 #include <cctype>
 #include <charconv>
+#include <cstdlib>
+#include <iostream>
 
 namespace gpumc {
 
@@ -110,6 +112,20 @@ parseInt(std::string_view s)
     if (ec != std::errc() || ptr != s.data() + s.size())
         return std::nullopt;
     return value;
+}
+
+int64_t
+cliInt(std::string_view tool, std::string_view flag,
+       const std::string &value, int64_t min, int64_t max)
+{
+    std::optional<int64_t> parsed = parseInt(value);
+    if (!parsed || *parsed < min || *parsed > max) {
+        std::cerr << tool << ": invalid value '" << value << "' for "
+                  << flag << " (expected integer in [" << min << ", "
+                  << max << "])\n";
+        std::exit(2);
+    }
+    return *parsed;
 }
 
 } // namespace gpumc

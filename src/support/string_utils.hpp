@@ -43,6 +43,16 @@ bool isInteger(std::string_view s);
  */
 std::optional<int64_t> parseInt(std::string_view s);
 
+/**
+ * Guarded replacement for std::stoi on CLI flag values, shared by all
+ * three tools (each previously carried its own copy). Parses @p value
+ * and range-checks it against [@p min, @p max]; on failure prints
+ * "<tool>: invalid value '<value>' for <flag> ..." to stderr and
+ * exits with the usage status (2).
+ */
+int64_t cliInt(std::string_view tool, std::string_view flag,
+               const std::string &value, int64_t min, int64_t max);
+
 } // namespace gpumc
 
 #endif // GPUMC_SUPPORT_STRING_UTILS_HPP

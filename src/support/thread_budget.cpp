@@ -1,0 +1,55 @@
+#include "support/thread_budget.hpp"
+
+#include "support/diagnostics.hpp"
+#include "support/thread_pool.hpp"
+
+namespace gpumc {
+
+ThreadBudget &
+ThreadBudget::instance()
+{
+    static ThreadBudget budget;
+    return budget;
+}
+
+void
+ThreadBudget::setTotal(unsigned total)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    total_ = total;
+}
+
+unsigned
+ThreadBudget::total() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return total_ == 0 ? defaultConcurrency() : total_;
+}
+
+unsigned
+ThreadBudget::acquire(unsigned want)
+{
+    if (want == 0)
+        return 0;
+    std::lock_guard<std::mutex> lock(mutex_);
+    unsigned cap = total_ == 0 ? defaultConcurrency() : total_;
+    // One slot is implicitly the caller's own thread; only cap - 1
+    // helpers may ever be out at once.
+    unsigned helpers = cap > 0 ? cap - 1 : 0;
+    unsigned available = helpers > used_ ? helpers - used_ : 0;
+    unsigned granted = want < available ? want : available;
+    used_ += granted;
+    return granted;
+}
+
+void
+ThreadBudget::release(unsigned n)
+{
+    if (n == 0)
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    GPUMC_ASSERT(n <= used_, "releasing more thread-budget slots than held");
+    used_ -= n;
+}
+
+} // namespace gpumc

@@ -3,6 +3,8 @@
 #include <atomic>
 #include <exception>
 
+#include "support/thread_budget.hpp"
+
 namespace gpumc {
 
 unsigned
@@ -81,6 +83,18 @@ parallelFor(int64_t n, unsigned threads,
     if (threads > n)
         threads = static_cast<unsigned>(n);
 
+    if (threads <= 1) {
+        for (int64_t i = 0; i < n; ++i)
+            body(i);
+        return;
+    }
+
+    // The caller blocks in pool.wait() below, so its slot is lent to
+    // one worker: only threads - 1 *extra* slots are charged to the
+    // shared budget. When nothing is available the loop degrades to
+    // the sequential path above — same results, one thread.
+    ThreadBudget::Lease lease(threads - 1);
+    threads = 1 + lease.granted();
     if (threads <= 1) {
         for (int64_t i = 0; i < n; ++i)
             body(i);

@@ -1,0 +1,339 @@
+/**
+ * @file
+ * The portfolio backend and the builtin solver's cooperative
+ * interrupt / cube-and-conquer machinery.
+ *
+ * The portfolio's core obligation is verdict identity: whichever lane
+ * wins the race (forced here with PortfolioBackend::setTestDelays so
+ * both orders actually happen), the answer must equal what either
+ * backend computes alone — racing may only change wall time and which
+ * model serves witness extraction. The interrupt tests pin the
+ * contract the racer relies on: interrupt() stops an in-flight solve
+ * promptly from another thread, and interrupt-then-clearInterrupt
+ * leaves the backend fully usable, including on a shared incremental
+ * session where the losing lane is cancelled on every query.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "smt/backend.hpp"
+#include "smt/portfolio_backend.hpp"
+#include "support/thread_budget.hpp"
+#include "tests/test_util.hpp"
+
+namespace gpumc::test {
+namespace {
+
+/** Reset the global test delays / thread budget on scope exit. */
+struct PortfolioEnv {
+    PortfolioEnv() { ThreadBudget::instance().setTotal(4); }
+    ~PortfolioEnv()
+    {
+        smt::PortfolioBackend::setTestDelays(0, 0);
+        ThreadBudget::instance().setTotal(0);
+    }
+};
+
+/** PHP(holes+1, holes): Unsat, needs real search. */
+void
+assertPigeonhole(smt::Backend &backend, int holes)
+{
+    const int pigeons = holes + 1;
+    std::vector<std::vector<smt::Lit>> var(pigeons);
+    for (int p = 0; p < pigeons; ++p)
+        for (int h = 0; h < holes; ++h)
+            var[p].push_back(backend.newVar());
+    for (int p = 0; p < pigeons; ++p)
+        backend.addClause(var[p]);
+    for (int h = 0; h < holes; ++h)
+        for (int p = 0; p < pigeons; ++p)
+            for (int q = p + 1; q < pigeons; ++q)
+                backend.addClause({-var[p][h], -var[q][h]});
+}
+
+/** A satisfiable formula with some propagation structure; returns the
+ *  asserted clauses so the model can be checked against them. */
+std::vector<std::vector<smt::Lit>>
+assertSatisfiable(smt::Backend &backend)
+{
+    smt::Lit a = backend.newVar();
+    smt::Lit b = backend.newVar();
+    smt::Lit c = backend.newVar();
+    smt::Lit d = backend.newVar();
+    std::vector<std::vector<smt::Lit>> clauses = {
+        {a}, {-a, b}, {-b, c, d}, {-c, -d}, {c, d}};
+    for (const std::vector<smt::Lit> &clause : clauses)
+        backend.addClause(clause);
+    return clauses;
+}
+
+bool
+modelSatisfies(const smt::Backend &backend,
+               const std::vector<std::vector<smt::Lit>> &clauses)
+{
+    for (const std::vector<smt::Lit> &clause : clauses) {
+        bool sat = false;
+        for (smt::Lit lit : clause)
+            sat = sat || backend.modelValue(lit) == smt::TruthValue::True;
+        if (!sat)
+            return false;
+    }
+    return true;
+}
+
+TEST(Portfolio, VerdictIdenticalWhicheverLaneWins)
+{
+    PortfolioEnv env;
+    struct Forcing {
+        int64_t builtinDelayMs;
+        int64_t z3DelayMs;
+        const char *winsKey;
+    };
+    for (const Forcing &f :
+         {Forcing{0, 500, "portfolio.winsBuiltin"},
+          Forcing{500, 0, "portfolio.winsZ3"}}) {
+        smt::PortfolioBackend::setTestDelays(f.builtinDelayMs,
+                                             f.z3DelayMs);
+
+        smt::PortfolioBackend unsatCase;
+        assertPigeonhole(unsatCase, 4);
+        EXPECT_EQ(unsatCase.solve({}), smt::SolveResult::Unsat);
+
+        smt::PortfolioBackend satCase;
+        auto clauses = assertSatisfiable(satCase);
+        ASSERT_EQ(satCase.solve({}), smt::SolveResult::Sat);
+        // The winning lane's model answers modelValue() and must
+        // satisfy every asserted clause.
+        EXPECT_TRUE(modelSatisfies(satCase, clauses));
+
+        // The forced lane actually won (when a helper slot was free;
+        // the sequential fallback is builtin and verdict-identical).
+        std::map<std::string, int64_t> stats = satCase.statistics();
+        if (stats.at("portfolio.races") > 0)
+            EXPECT_GT(stats.at(f.winsKey), 0) << f.winsKey;
+        EXPECT_EQ(stats.at("portfolio.races") +
+                      stats.at("portfolio.sequentialSolves"),
+                  stats.at("solveCalls"));
+    }
+}
+
+TEST(Portfolio, LoserLaneCancellationIsInvisibleAcrossQueries)
+{
+    PortfolioEnv env;
+    // Slow the builtin lane so Z3 wins and the builtin solver gets
+    // interrupted on every query of an incremental sequence — the
+    // losing lane must stay usable (and correct) across all of them.
+    smt::PortfolioBackend::setTestDelays(300, 0);
+    smt::PortfolioBackend backend;
+    assertPigeonhole(backend, 4);
+    smt::Lit act = backend.mkActivationLit();
+    smt::Lit extra = backend.newVar();
+    backend.addClause({-act, extra});
+
+    EXPECT_EQ(backend.solve({act}), smt::SolveResult::Unsat);
+    EXPECT_EQ(backend.solve({-act}), smt::SolveResult::Unsat);
+    EXPECT_EQ(backend.solve({}), smt::SolveResult::Unsat);
+    // Now let the builtin lane win the last word with the same state.
+    smt::PortfolioBackend::setTestDelays(0, 300);
+    EXPECT_EQ(backend.solve({act}), smt::SolveResult::Unsat);
+}
+
+class InterruptContract
+    : public ::testing::TestWithParam<smt::BackendKind> {};
+
+TEST_P(InterruptContract, InterruptThenClearLeavesBackendUsable)
+{
+    std::unique_ptr<smt::Backend> backend = smt::makeBackend(GetParam());
+    assertPigeonhole(*backend, 6);
+    // No solve in flight: the request may cancel the next solve, but
+    // after clearInterrupt() the backend must answer normally. This
+    // pins Z3's re-arm-on-next-check behaviour that the portfolio's
+    // no-op Z3Backend::clearInterrupt relies on.
+    backend->interrupt();
+    backend->clearInterrupt();
+    EXPECT_EQ(backend->solve(), smt::SolveResult::Unsat);
+}
+
+TEST_P(InterruptContract, InterruptFromAnotherThreadStopsUnlimitedSolve)
+{
+    std::unique_ptr<smt::Backend> backend = smt::makeBackend(GetParam());
+    // PHP(12,11) takes minutes unaided; the cross-thread interrupt has
+    // to be what brings the unlimited solve back.
+    assertPigeonhole(*backend, 11);
+    std::thread canceller([&backend] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        backend->interrupt();
+    });
+    Stopwatch watch;
+    EXPECT_EQ(backend->solve(), smt::SolveResult::Unknown);
+    EXPECT_LT(watch.elapsedMs(), 10000.0);
+    canceller.join();
+
+    // Reuse after the cancel: learned clauses may remain, the verdict
+    // machinery must be fresh.
+    backend->clearInterrupt();
+    smt::Lit x = backend->newVar();
+    backend->addClause({x});
+    EXPECT_EQ(backend->solve({-x}), smt::SolveResult::Unsat);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, InterruptContract,
+                         ::testing::Values(smt::BackendKind::Builtin,
+                                           smt::BackendKind::Z3,
+                                           smt::BackendKind::Portfolio),
+                         [](const auto &info) {
+                             return smt::backendKindName(info.param);
+                         });
+
+TEST(PortfolioBuiltinLane, PendingInterruptCancelsNextSolve)
+{
+    // Builtin-specific sharpening of the contract: a pending interrupt
+    // is observed by the very next solve (the racer depends on a
+    // sleeping-then-woken loser coming back Unknown quickly).
+    std::unique_ptr<smt::Backend> backend =
+        smt::makeBackend(smt::BackendKind::Builtin);
+    assertPigeonhole(*backend, 6);
+    backend->interrupt();
+    Stopwatch watch;
+    EXPECT_EQ(backend->solve(), smt::SolveResult::Unknown);
+    EXPECT_LT(watch.elapsedMs(), 1000.0);
+    backend->clearInterrupt();
+    EXPECT_EQ(backend->solve(), smt::SolveResult::Unsat);
+}
+
+/** checkAll() verdicts for one litmus program under the given options. */
+std::vector<core::VerificationResult>
+verdictsOf(const prog::Program &program, const cat::CatModel &model,
+           smt::BackendKind backend, int cubeDepth = 0)
+{
+    core::VerifierOptions vo;
+    vo.backend = backend;
+    vo.validateWitness = true;
+    vo.cubeDepth = cubeDepth;
+    core::Verifier verifier(program, model, vo);
+    return verifier.checkAll();
+}
+
+TEST(PortfolioVerifier, LitmusVerdictsMatchBothSingleBackends)
+{
+    PortfolioEnv env;
+    const char *files[] = {"vulkan/basic/mp-rel-acq.litmus",
+                           "ptx/paper/fig7-sb-statbar.litmus"};
+    for (const char *file : files) {
+        prog::Program program =
+            litmus::parseLitmusFile(litmusPath(file));
+        const cat::CatModel &model = modelFor(program);
+        std::vector<core::VerificationResult> builtin =
+            verdictsOf(program, model, smt::BackendKind::Builtin);
+        std::vector<core::VerificationResult> z3 =
+            verdictsOf(program, model, smt::BackendKind::Z3);
+
+        // Race both ways: builtin winning, then Z3 winning.
+        for (int64_t builtinDelay : {int64_t{0}, int64_t{200}}) {
+            smt::PortfolioBackend::setTestDelays(builtinDelay,
+                                                 200 - builtinDelay);
+            std::vector<core::VerificationResult> portfolio =
+                verdictsOf(program, model, smt::BackendKind::Portfolio);
+            ASSERT_EQ(portfolio.size(), builtin.size());
+            for (size_t i = 0; i < portfolio.size(); ++i) {
+                EXPECT_EQ(portfolio[i].holds, builtin[i].holds)
+                    << file << " property " << i;
+                EXPECT_EQ(portfolio[i].unknown, builtin[i].unknown)
+                    << file << " property " << i;
+                EXPECT_EQ(portfolio[i].holds, z3[i].holds)
+                    << file << " property " << i;
+                EXPECT_EQ(portfolio[i].unknown, z3[i].unknown)
+                    << file << " property " << i;
+            }
+        }
+    }
+}
+
+TEST(PortfolioVerifier, StatsLandUnderPortfolioPrefixedSolverKeys)
+{
+    PortfolioEnv env;
+    prog::Program program = litmus::parseLitmusFile(
+        litmusPath("vulkan/basic/mp-rel-acq.litmus"));
+    std::vector<core::VerificationResult> results =
+        verdictsOf(program, vulkanModel(), smt::BackendKind::Portfolio);
+    ASSERT_FALSE(results.empty());
+
+    // Lane counters are namespaced: a cancelled lane's conflict count
+    // must never masquerade as the plain `solver.conflicts` of a
+    // single-backend run. Only portfolio-prefixed lane keys plus the
+    // portfolio's own solveCalls may appear under `solver.`.
+    bool sawPortfolioKey = false;
+    for (const auto &[key, value] : results[0].stats.all()) {
+        if (key.rfind("solver.", 0) != 0)
+            continue;
+        sawPortfolioKey =
+            sawPortfolioKey || key.rfind("solver.portfolio.", 0) == 0;
+        EXPECT_TRUE(key.rfind("solver.portfolio.", 0) == 0 ||
+                    key == "solver.solveCalls")
+            << key;
+    }
+    EXPECT_TRUE(sawPortfolioKey);
+    EXPECT_EQ(results[0].stats.get("solver.conflicts"), 0);
+}
+
+class CubeAndConquer : public ::testing::TestWithParam<int> {};
+
+TEST_P(CubeAndConquer, VerdictsMatchPlainSolve)
+{
+    PortfolioEnv env;
+    const smt::BackendConfig config{GetParam()};
+
+    std::unique_ptr<smt::Backend> unsatCase =
+        smt::makeBackend(smt::BackendKind::Builtin, config);
+    assertPigeonhole(*unsatCase, 6);
+    EXPECT_EQ(unsatCase->solve(), smt::SolveResult::Unsat);
+
+    std::unique_ptr<smt::Backend> satCase =
+        smt::makeBackend(smt::BackendKind::Builtin, config);
+    auto clauses = assertSatisfiable(*satCase);
+    ASSERT_EQ(satCase->solve(), smt::SolveResult::Sat);
+    EXPECT_TRUE(modelSatisfies(*satCase, clauses));
+    if (GetParam() > 0) {
+        std::map<std::string, int64_t> stats = satCase->statistics();
+        EXPECT_GE(stats.at("cube.rounds"), 1);
+        EXPECT_GE(stats.at("cube.solves"), 1);
+    }
+
+    // Incremental reuse with assumptions falls back to the plain
+    // solver path or stays correct through cubes — either way the
+    // verdict under an assumption must flip with its sign.
+    smt::Lit y = satCase->newVar();
+    satCase->addClause({y});
+    EXPECT_EQ(satCase->solve({-y}), smt::SolveResult::Unsat);
+    EXPECT_EQ(satCase->solve({y}), smt::SolveResult::Sat);
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, CubeAndConquer,
+                         ::testing::Values(0, 1, 3),
+                         [](const auto &info) {
+                             return "depth" +
+                                    std::to_string(info.param);
+                         });
+
+TEST(CubeAndConquer, VerifierVerdictsMatchUncubedRun)
+{
+    PortfolioEnv env;
+    prog::Program program = litmus::parseLitmusFile(
+        litmusPath("vulkan/basic/mp-rel-acq.litmus"));
+    std::vector<core::VerificationResult> plain = verdictsOf(
+        program, vulkanModel(), smt::BackendKind::Builtin, 0);
+    std::vector<core::VerificationResult> cubed = verdictsOf(
+        program, vulkanModel(), smt::BackendKind::Builtin, 3);
+    ASSERT_EQ(plain.size(), cubed.size());
+    for (size_t i = 0; i < plain.size(); ++i) {
+        EXPECT_EQ(plain[i].holds, cubed[i].holds) << i;
+        EXPECT_EQ(plain[i].unknown, cubed[i].unknown) << i;
+        EXPECT_EQ(plain[i].detail, cubed[i].detail) << i;
+    }
+}
+
+} // namespace
+} // namespace gpumc::test

@@ -1,16 +1,25 @@
 /**
  * @file
- * smt::Backend time-limit semantics, identical across both shipped
- * backends: setTimeLimitMs(ms <= 0) must restore the backend's
+ * smt::Backend time-limit semantics, identical across all three
+ * shipped backends: setTimeLimitMs(ms <= 0) must restore the backend's
  * unlimited default, not install a zero-millisecond budget.
  *
  * Regression: Z3 interprets the `timeout` parameter literally, so
  * mapping "disable" to `timeout=0` would leave every subsequent query
  * with a 0 ms budget and turn all results into Unknown — silently
  * poisoning any check that runs after a timed one on a shared session.
+ *
+ * The converse footgun lives in armTimeLimit: Deadline::remainingMs()
+ * returns 0 both when expired and when unlimited, so forwarding an
+ * expired deadline's remainder into setTimeLimitMs would launch an
+ * unbounded solve from a budget that is already gone. The ArmTimeLimit
+ * tests below pin the expired -> refuse-to-solve mapping.
  */
 
 #include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
 
 #include "smt/backend.hpp"
 #include "support/stats.hpp"
@@ -117,12 +126,69 @@ TEST_P(TimeLimit, TimedOutSolveDoesNotPoisonLaterQueries)
 
 INSTANTIATE_TEST_SUITE_P(Backends, TimeLimit,
                          ::testing::Values(smt::BackendKind::Builtin,
-                                           smt::BackendKind::Z3),
+                                           smt::BackendKind::Z3,
+                                           smt::BackendKind::Portfolio),
                          [](const auto &info) {
-                             return info.param ==
-                                            smt::BackendKind::Builtin
-                                        ? "builtin"
-                                        : "z3";
+                             return smt::backendKindName(info.param);
+                         });
+
+class ArmTimeLimit : public ::testing::TestWithParam<smt::BackendKind> {
+};
+
+TEST_P(ArmTimeLimit, ExpiredDeadlineRefusesToSolve)
+{
+    std::unique_ptr<smt::Backend> backend = smt::makeBackend(GetParam());
+    assertPigeonhole(*backend, 10);
+
+    // A deadline whose budget is already gone — the exact state a
+    // session query sees when earlier properties ate the whole budget.
+    // armTimeLimit must refuse (the caller reports Unknown) instead of
+    // mapping remainingMs() == 0 to "unlimited".
+    Deadline expired = Deadline::in(1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    ASSERT_TRUE(expired.expired());
+    EXPECT_FALSE(smt::armTimeLimit(*backend, expired));
+
+    // Defence in depth: even a caller that ignores the refusal must
+    // not get an unbounded solve — PHP(11,10) would otherwise pin a
+    // core for minutes here.
+    Stopwatch watch;
+    EXPECT_EQ(backend->solve(), smt::SolveResult::Unknown);
+    EXPECT_LT(watch.elapsedMs(), 5000.0);
+}
+
+TEST_P(ArmTimeLimit, UnlimitedDeadlineRestoresUnlimitedDefault)
+{
+    std::unique_ptr<smt::Backend> backend = smt::makeBackend(GetParam());
+    assertPigeonhole(*backend, 6);
+
+    // Leave a stale 1 ms budget behind, then arm from an unlimited
+    // deadline: the solve must run without any limit.
+    backend->setTimeLimitMs(1);
+    Deadline unlimited;
+    ASSERT_FALSE(unlimited.limited());
+    EXPECT_TRUE(smt::armTimeLimit(*backend, unlimited));
+    EXPECT_EQ(backend->solve(), smt::SolveResult::Unsat);
+}
+
+TEST_P(ArmTimeLimit, LiveDeadlineForwardsItsRemainder)
+{
+    std::unique_ptr<smt::Backend> backend = smt::makeBackend(GetParam());
+    assertPigeonhole(*backend, 10);
+
+    Deadline live = Deadline::in(50);
+    EXPECT_TRUE(smt::armTimeLimit(*backend, live));
+    Stopwatch watch;
+    EXPECT_EQ(backend->solve(), smt::SolveResult::Unknown);
+    EXPECT_LT(watch.elapsedMs(), 5000.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, ArmTimeLimit,
+                         ::testing::Values(smt::BackendKind::Builtin,
+                                           smt::BackendKind::Z3,
+                                           smt::BackendKind::Portfolio),
+                         [](const auto &info) {
+                             return smt::backendKindName(info.param);
                          });
 
 } // namespace

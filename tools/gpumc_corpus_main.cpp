@@ -4,7 +4,8 @@
  * the shipped models, check `@expect` directives, and summarize — the
  * CLI counterpart of the corpus regression suite.
  *
- *   gpumc-corpus <directory> [--bound=N] [--backend=z3|builtin]
+ *   gpumc-corpus <directory> [--bound=N]
+ *                [--backend=z3|builtin|portfolio] [--cube-depth=N]
  *                [--jobs=N] [--timeout=MS] [--json[=FILE]]
  *                [--fresh-sessions]
  *
@@ -33,6 +34,7 @@
 #include "support/json.hpp"
 #include "support/stats.hpp"
 #include "support/string_utils.hpp"
+#include "support/thread_budget.hpp"
 #include "support/thread_pool.hpp"
 #include "support/trace.hpp"
 
@@ -76,9 +78,17 @@ usage()
         << "usage: gpumc-corpus <directory> [options]\n"
            "  --bound=N     loop unroll bound (overridden by a test's "
            "`bound` meta key)\n"
-           "  --backend=z3|builtin   (default: builtin)\n"
-           "  --jobs=N      worker threads (default: hardware "
-           "concurrency; 1 = sequential)\n"
+           "  --backend=z3|builtin|portfolio   (default: builtin;\n"
+           "                portfolio races both per query, first "
+           "verdict wins)\n"
+           "  --cube-depth=N  split builtin-solver queries into 2^N "
+           "cubes\n"
+           "                solved in parallel (default: 0, off)\n"
+           "  --jobs=N      total thread budget shared by batch "
+           "workers,\n"
+           "                portfolio lanes and cube solvers (default: "
+           "hardware\n"
+           "                concurrency; 1 = sequential)\n"
            "  --timeout=MS  solver budget per query; exhausted queries "
            "report UNKN\n"
            "  --json[=FILE] machine-readable report to stdout (sole "
@@ -95,19 +105,12 @@ usage()
     std::exit(2);
 }
 
-/** Guarded replacement for std::stoi on CLI flag values. */
+/** cliInt (support/string_utils) partially applied to this tool. */
 int64_t
 cliInt(const std::string &flag, const std::string &value, int64_t min,
        int64_t max)
 {
-    std::optional<int64_t> parsed = parseInt(value);
-    if (!parsed || *parsed < min || *parsed > max) {
-        std::cerr << "gpumc-corpus: invalid value '" << value
-                  << "' for " << flag << " (expected integer in ["
-                  << min << ", " << max << "])\n";
-        std::exit(2);
-    }
-    return *parsed;
+    return gpumc::cliInt("gpumc-corpus", flag, value, min, max);
 }
 
 CliOptions
@@ -134,6 +137,11 @@ parseArgs(int argc, char **argv)
             opts.verifier.backend = smt::BackendKind::Z3;
         } else if (arg == "--backend=builtin") {
             opts.verifier.backend = smt::BackendKind::Builtin;
+        } else if (arg == "--backend=portfolio") {
+            opts.verifier.backend = smt::BackendKind::Portfolio;
+        } else if (startsWith(arg, "--cube-depth=")) {
+            opts.verifier.cubeDepth = static_cast<int>(
+                cliInt("--cube-depth", arg.substr(13), 0, 16));
         } else if (arg == "--fresh-sessions") {
             opts.freshSessions = true;
         } else if (arg == "--json") {
@@ -241,9 +249,7 @@ writeJson(std::ostream &os, const CliOptions &opts,
     os << "{\n";
     os << "  \"corpus\": \"" << jsonEscape(opts.dir) << "\",\n";
     os << "  \"backend\": \""
-       << (opts.verifier.backend == smt::BackendKind::Z3 ? "z3"
-                                                         : "builtin")
-       << "\",\n";
+       << smt::backendKindName(opts.verifier.backend) << "\",\n";
     os << "  \"jobs\": " << jobs << ",\n";
     os << "  \"queries\": [\n";
     bool firstQuery = true;
@@ -318,6 +324,10 @@ main(int argc, char **argv)
 {
     CliOptions opts = parseArgs(argc, argv);
     trace::enableFromCli(opts.tracePath, opts.metricsPath);
+    // --jobs is the *total* thread cap: batch workers, portfolio lanes
+    // and cube solvers all draw from this one budget, so jobs x
+    // backends oversubscription cannot happen.
+    ThreadBudget::instance().setTotal(opts.jobs);
 
     cat::CatModel ptx60 = cat::CatModel::fromFile(
         std::string(GPUMC_CAT_DIR) + "/ptx-v6.0.cat");

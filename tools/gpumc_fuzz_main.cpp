@@ -4,13 +4,16 @@
  * programs. Each case is cross-checked by four oracles (emit/reparse
  * round-trip, SMT vs the explicit-state enumerator, Z3 vs the built-in
  * solver, and bound monotonicity) plus, with --session-reuse, a fifth
- * comparing shared-session checkAll() against fresh sessions;
- * disagreements are delta-debugged into minimal `.litmus` repro files.
+ * comparing shared-session checkAll() against fresh sessions, and with
+ * --portfolio a sixth comparing the racing portfolio backend against
+ * both single backends; disagreements are delta-debugged into minimal
+ * `.litmus` repro files.
  *
  *   gpumc-fuzz [--seed=N] [--runs=N] [--jobs=N] [--arch=ptx|vulkan|both]
  *              [--profile=basic|cf|full] [--bound=N] [--out-dir=DIR]
  *              [--inject=bound-gap] [--no-shrink] [--max-shrinks=N]
  *              [--timeout=MS] [--verify-determinism]
+ *              [--session-reuse] [--portfolio]
  *
  * The verdict log is deterministic for a fixed seed: identical across
  * runs and across --jobs values (SMT queries are fanned out through
@@ -34,6 +37,7 @@
 #include "cat/model.hpp"
 #include "fuzz/campaign.hpp"
 #include "support/string_utils.hpp"
+#include "support/thread_budget.hpp"
 #include "support/trace.hpp"
 
 using namespace gpumc;
@@ -50,6 +54,7 @@ struct CliOptions {
     std::string outDir;
     bool injectBoundGap = false;
     bool sessionReuse = false;
+    bool portfolio = false;
     bool shrink = true;
     int maxShrinks = 3;
     int shrinkAttempts = 400;
@@ -78,6 +83,9 @@ usage()
            "  --session-reuse   also cross-check every case's shared\n"
            "                    checkAll() session against three fresh\n"
            "                    sessions, on both backends\n"
+           "  --portfolio       also cross-check the racing portfolio\n"
+           "                    backend's verdicts against both single\n"
+           "                    backends\n"
            "  --no-shrink       report disagreements without shrinking\n"
            "  --max-shrinks=N   disagreeing cases to shrink (default 3)\n"
            "  --shrink-attempts=N  predicate budget per shrink "
@@ -92,19 +100,12 @@ usage()
     std::exit(2);
 }
 
-/** Guarded replacement for std::stoi on CLI flag values. */
+/** cliInt (support/string_utils) partially applied to this tool. */
 int64_t
 cliInt(const std::string &flag, const std::string &value, int64_t min,
        int64_t max)
 {
-    std::optional<int64_t> parsed = parseInt(value);
-    if (!parsed || *parsed < min || *parsed > max) {
-        std::cerr << "gpumc-fuzz: invalid value '" << value << "' for "
-                  << flag << " (expected integer in [" << min << ", "
-                  << max << "])\n";
-        std::exit(2);
-    }
-    return *parsed;
+    return gpumc::cliInt("gpumc-fuzz", flag, value, min, max);
 }
 
 CliOptions
@@ -145,6 +146,8 @@ parseArgs(int argc, char **argv)
             opts.injectBoundGap = true;
         } else if (arg == "--session-reuse") {
             opts.sessionReuse = true;
+        } else if (arg == "--portfolio") {
+            opts.portfolio = true;
         } else if (arg == "--no-shrink") {
             opts.shrink = false;
         } else if (startsWith(arg, "--max-shrinks=")) {
@@ -204,6 +207,7 @@ campaignOptions(const CliOptions &opts, prog::Arch arch,
     if (opts.injectBoundGap)
         co.oracle.z3Bound = opts.bound - 1;
     co.oracle.sessionReuse = opts.sessionReuse;
+    co.oracle.portfolioVsSingle = opts.portfolio;
     co.oracle.solverTimeoutMs = opts.solverTimeoutMs;
     co.shrink = opts.shrink;
     co.maxShrinks = opts.maxShrinks;
@@ -219,6 +223,9 @@ main(int argc, char **argv)
 {
     CliOptions opts = parseArgs(argc, argv);
     trace::enableFromCli(opts.tracePath, opts.metricsPath);
+    // --jobs caps total concurrency across campaign workers and any
+    // portfolio lanes the oracles spin up.
+    ThreadBudget::instance().setTotal(opts.jobs);
 
     cat::CatModel ptx75 = cat::CatModel::fromFile(
         std::string(GPUMC_CAT_DIR) + "/ptx-v7.5.cat");

@@ -5,7 +5,7 @@
  *
  *   gpumc <test.litmus|test.spvasm> <model.cat>
  *         [--property=program_spec|cat_spec|liveness] [--all-properties]
- *         [--bound=N] [--backend=z3|builtin]
+ *         [--bound=N] [--backend=z3|builtin|portfolio] [--cube-depth=N]
  *         [--grid=X.Y] [--witness] [--dot=<out.dot>] [--explicit]
  *
  * --all-properties checks program_spec, liveness and cat_spec on one
@@ -56,7 +56,12 @@ usage()
         "  --bound=N          loop unroll bound (default: 2)\n"
         "  --timeout=MS       solver budget per property check (0 = "
         "unlimited)\n"
-        "  --backend=z3|builtin\n"
+        "  --backend=z3|builtin|portfolio\n"
+        "                     portfolio races z3 and the builtin CDCL\n"
+        "                     solver per query, first verdict wins\n"
+        "  --cube-depth=N     split builtin-solver queries into 2^N\n"
+        "                     cubes solved in parallel (default: 0, "
+        "off)\n"
         "  --grid=X.Y         thread grid for SPIR-V kernels\n"
         "  --witness          print the witness execution\n"
         "  --dot=FILE         write the witness as a GraphViz graph\n"
@@ -69,19 +74,12 @@ usage()
     std::exit(2);
 }
 
-/** Guarded replacement for std::stoi on CLI flag values. */
+/** cliInt (support/string_utils) partially applied to this tool. */
 int64_t
 cliInt(const std::string &key, const std::string &value, int64_t min,
        int64_t max)
 {
-    std::optional<int64_t> parsed = parseInt(value);
-    if (!parsed || *parsed < min || *parsed > max) {
-        std::cerr << "gpumc: invalid value '" << value << "' for --"
-                  << key << " (expected integer in [" << min << ", "
-                  << max << "])\n";
-        usage();
-    }
-    return *parsed;
+    return gpumc::cliInt("gpumc", "--" + key, value, min, max);
 }
 
 CliOptions
@@ -118,9 +116,18 @@ parseArgs(int argc, char **argv)
             opts.verifier.solverTimeoutMs =
                 cliInt(key, value, 0, INT64_MAX);
         } else if (key == "backend") {
-            opts.verifier.backend = value == "builtin"
-                                        ? smt::BackendKind::Builtin
-                                        : smt::BackendKind::Z3;
+            if (value == "builtin") {
+                opts.verifier.backend = smt::BackendKind::Builtin;
+            } else if (value == "z3") {
+                opts.verifier.backend = smt::BackendKind::Z3;
+            } else if (value == "portfolio") {
+                opts.verifier.backend = smt::BackendKind::Portfolio;
+            } else {
+                usage();
+            }
+        } else if (key == "cube-depth") {
+            opts.verifier.cubeDepth =
+                static_cast<int>(cliInt(key, value, 0, 16));
         } else if (key == "grid") {
             auto parts = split(value, '.');
             if (parts.size() != 2)
