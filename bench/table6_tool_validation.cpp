@@ -28,12 +28,22 @@
  * aggregate solve times in BENCH_portfolio.json: the portfolio should
  * track min(builtin, z3) per query within racing overhead and beat
  * both single backends in aggregate.
+ *
+ * --serve-bench drives the corpus through an in-process gpumc-serve
+ * Engine twice: a cold pass that populates the fingerprint result
+ * cache and a warm pass that re-sends the identical request lines.
+ * Every warm response must be a cache hit with a verdict byte-equal to
+ * its cold twin, and the warm pass must be >= 10x faster; results land
+ * in BENCH_serve.json.
  */
 
 #include "bench/bench_util.hpp"
 #include "core/batch_verifier.hpp"
 #include "gpuverify/static_drf.hpp"
 #include "kernels/sync_kernels.hpp"
+#include "litmus/litmus_emitter.hpp"
+#include "serve/engine.hpp"
+#include "serve/protocol.hpp"
 #include "support/json.hpp"
 #include "support/string_utils.hpp"
 #include "support/thread_pool.hpp"
@@ -590,6 +600,162 @@ runPortfolioBench(const std::vector<Kernel> &corpus)
     return identical ? 0 : 1;
 }
 
+/** One pass (cold or warm) of the serve bench request list. */
+struct ServeBenchPass {
+    double wallMs = 0;
+    size_t cacheHits = 0;
+    /** holds/unknown/detail per query, serialized for comparison. */
+    std::vector<std::string> verdicts;
+};
+
+/**
+ * Warm-cache serving comparison: every (kernel, property) query is
+ * sent to an in-process serve::Engine as the wire-format JSON request,
+ * twice. The cold pass builds sessions and solves; the warm pass —
+ * byte-identical request lines — must answer every query from the
+ * fingerprint result cache with the same verdict, >= 10x faster in
+ * aggregate. Writes BENCH_serve.json; fails on any verdict mismatch,
+ * any warm miss, or a speedup below 10x.
+ */
+int
+runServeBench(const std::vector<Kernel> &corpus, unsigned jobs)
+{
+    const char *propNames[] = {"program_spec", "liveness", "cat_spec"};
+
+    serve::EngineOptions engineOptions;
+#ifdef GPUMC_CAT_DIR
+    engineOptions.catDir = GPUMC_CAT_DIR;
+#endif
+    engineOptions.jobs = jobs;
+    serve::Engine engine(engineOptions);
+
+    std::vector<std::string> labels;
+    std::vector<std::string> lines;
+    for (const Kernel &kernel : corpus) {
+        if (kernel.usesFloat)
+            continue;
+        std::string source = litmus::emitLitmus(kernel.program);
+        for (const char *prop : propNames) {
+            labels.push_back(kernel.name + " " + prop);
+            lines.push_back("{\"id\":" + std::to_string(lines.size()) +
+                            ",\"litmus\":" + jsonString(source) +
+                            ",\"model\":\"vulkan\",\"property\":\"" +
+                            prop + "\",\"backend\":\"builtin\"}");
+        }
+    }
+
+    bool responsesOk = true;
+    std::string firstBadResponse;
+    auto runPass = [&]() {
+        ServeBenchPass pass;
+        Stopwatch wall;
+        for (size_t i = 0; i < lines.size(); ++i) {
+            // handleSync waits for each response, so by the time a
+            // request repeats, its first verdict is in the cache.
+            std::string response = engine.handleSync(lines[i]);
+            std::string error;
+            JsonValue doc = parseJson(response, error);
+            const JsonValue *status =
+                error.empty() ? doc.find("status") : nullptr;
+            if (!status || !status->isString() ||
+                status->text != "ok") {
+                if (responsesOk) {
+                    responsesOk = false;
+                    firstBadResponse = labels[i] + ": " + response;
+                }
+                pass.verdicts.push_back("bad-response");
+                continue;
+            }
+            const JsonValue *holds = doc.find("holds");
+            const JsonValue *unknown = doc.find("unknown");
+            const JsonValue *detail = doc.find("detail");
+            std::string verdict;
+            verdict += holds && holds->boolean ? "holds(" : "fails(";
+            if (unknown && unknown->boolean)
+                verdict = "unknown(";
+            verdict += detail && detail->isString() ? detail->text : "";
+            verdict += ")";
+            pass.verdicts.push_back(verdict);
+            const JsonValue *cache = doc.find("cache");
+            if (cache && cache->isString() && cache->text == "hit")
+                pass.cacheHits++;
+        }
+        pass.wallMs = wall.elapsedMs();
+        return pass;
+    };
+
+    ServeBenchPass cold = runPass();
+    ServeBenchPass warm = runPass();
+
+    bool identical = responsesOk;
+    std::string firstMismatch = firstBadResponse;
+    for (size_t i = 0; identical && i < labels.size(); ++i) {
+        if (cold.verdicts[i] != warm.verdicts[i]) {
+            identical = false;
+            firstMismatch = labels[i];
+        }
+    }
+    bool allWarmHits = warm.cacheHits == labels.size();
+    double speedup =
+        warm.wallMs > 0 ? cold.wallMs / warm.wallMs : 0.0;
+    bool fastEnough = speedup >= 10.0;
+
+    // The engine's own counters cross-check the per-response flags.
+    std::string metricsLine =
+        engine.handleSync("{\"op\":\"metrics\"}");
+    std::string metricsError;
+    JsonValue metrics = parseJson(metricsLine, metricsError);
+    int64_t cacheHits = 0, cacheMisses = 0;
+    if (metricsError.empty()) {
+        if (const JsonValue *rc = metrics.find("result_cache")) {
+            if (const JsonValue *v = rc->find("hits"))
+                cacheHits = v->asInt();
+            if (const JsonValue *v = rc->find("misses"))
+                cacheMisses = v->asInt();
+        }
+    }
+
+    std::printf("Serve bench: %zu queries over %zu kernels "
+                "(3 properties each)\n\n",
+                labels.size(), labels.size() / 3);
+    std::printf("%-6s %12s %12s\n", "PASS", "wall ms", "cache hits");
+    std::printf("%-6s %12.1f %9zu/%zu\n", "cold", cold.wallMs,
+                cold.cacheHits, labels.size());
+    std::printf("%-6s %12.1f %9zu/%zu\n", "warm", warm.wallMs,
+                warm.cacheHits, labels.size());
+    std::printf("\nwarm-cache speedup: %.1fx (threshold 10x)\n",
+                speedup);
+    std::printf("result cache: %lld hits, %lld misses\n",
+                static_cast<long long>(cacheHits),
+                static_cast<long long>(cacheMisses));
+    std::printf("verdicts: %s\n",
+                identical ? "identical between passes"
+                          : ("MISMATCH at " + firstMismatch).c_str());
+    if (!allWarmHits)
+        std::printf("FAIL: %zu warm queries missed the cache\n",
+                    labels.size() - warm.cacheHits);
+    if (!fastEnough)
+        std::printf("FAIL: warm pass not >= 10x faster than cold\n");
+
+    std::ofstream json("BENCH_serve.json");
+    json << "{\n  \"queries\": " << labels.size()
+         << ",\n  \"kernels\": " << labels.size() / 3
+         << ",\n  \"coldMs\": " << cold.wallMs
+         << ",\n  \"warmMs\": " << warm.wallMs
+         << ",\n  \"speedup\": " << speedup
+         << ",\n  \"warmCacheHits\": " << warm.cacheHits
+         << ",\n  \"resultCacheHits\": " << cacheHits
+         << ",\n  \"resultCacheMisses\": " << cacheMisses
+         << ",\n  \"verdictsIdentical\": "
+         << (identical ? "true" : "false")
+         << ",\n  \"firstMismatch\": "
+         << (identical ? "null" : jsonString(firstMismatch)) << "\n}\n";
+    json.close();
+    std::printf("(writing BENCH_serve.json)\n");
+
+    return identical && allWarmHits && fastEnough ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -598,6 +764,7 @@ main(int argc, char **argv)
     unsigned jobs = 0; // hardware concurrency
     bool sessionBench = false;
     bool portfolioBench = false;
+    bool serveBench = false;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (startsWith(arg, "--jobs=")) {
@@ -611,6 +778,8 @@ main(int argc, char **argv)
             sessionBench = true;
         } else if (arg == "--portfolio-bench") {
             portfolioBench = true;
+        } else if (arg == "--serve-bench") {
+            serveBench = true;
         }
     }
 
@@ -618,6 +787,8 @@ main(int argc, char **argv)
         return runSessionBench(generateKernelCorpus(), jobs);
     if (portfolioBench)
         return runPortfolioBench(generateKernelCorpus());
+    if (serveBench)
+        return runServeBench(generateKernelCorpus(), jobs);
 
     std::vector<Kernel> corpus = generateKernelCorpus();
     std::printf("Table 6: DRF verification of %zu kernels "

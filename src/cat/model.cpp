@@ -1,17 +1,87 @@
 #include "cat/model.hpp"
 
+#include <cstdio>
 #include <fstream>
 #include <map>
 #include <sstream>
 
 #include "cat/parser.hpp"
+#include "support/hash.hpp"
 
 namespace gpumc::cat {
+
+namespace {
+
+/**
+ * Feed an expression tree into the field stream: node kind, the name
+ * of Name leaves, then children depth-first with open/close tags so
+ * differently-shaped trees cannot alias. Resolution fields are derived
+ * from the same content and are deliberately not hashed.
+ */
+void
+hashExpr(FieldHasher &h, const Expr *e)
+{
+    if (!e) {
+        h.tag('0');
+        return;
+    }
+    h.tag('(');
+    h.u64(static_cast<uint64_t>(e->kind));
+    h.str(e->name);
+    hashExpr(h, e->lhs.get());
+    hashExpr(h, e->rhs.get());
+    h.tag(')');
+}
+
+void
+hashModel(FieldHasher &h, const ParsedModel &parsed)
+{
+    h.str(parsed.modelName);
+    h.u64(parsed.lets.size());
+    for (const LetBinding &let : parsed.lets) {
+        h.tag('l');
+        h.str(let.name);
+        hashExpr(h, let.expr.get());
+    }
+    h.u64(parsed.axioms.size());
+    for (const Axiom &ax : parsed.axioms) {
+        h.tag('a');
+        h.u64(static_cast<uint64_t>(ax.kind));
+        h.str(ax.name);
+        hashExpr(h, ax.expr.get());
+    }
+}
+
+} // namespace
 
 CatModel::CatModel(ParsedModel parsed, const Vocabulary &vocab)
     : parsed_(std::move(parsed)), vocab_(&vocab)
 {
     resolveAndCheck();
+    computeFingerprint();
+}
+
+void
+CatModel::computeFingerprint()
+{
+    // Two independent passes, like prog::Program::fingerprint: a
+    // collision would silently reuse a stale session built for a
+    // *different* model, so 64 bits alone is not comfortable enough.
+    FieldHasher a(FieldHasher::kBasisA);
+    FieldHasher b(FieldHasher::kBasisB);
+    hashModel(a, parsed_);
+    hashModel(b, parsed_);
+    fingerprint_ = {a.value(), b.value()};
+}
+
+std::string
+ModelFingerprint::str() const
+{
+    char buf[33];
+    std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                  static_cast<unsigned long long>(hi),
+                  static_cast<unsigned long long>(lo));
+    return buf;
 }
 
 CatModel

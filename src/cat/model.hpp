@@ -15,6 +15,29 @@
 
 namespace gpumc::cat {
 
+/**
+ * Stable 128-bit content fingerprint of a parsed model: the model name
+ * plus a structural hash of every relation definition (let bindings
+ * and axioms). Two CatModel objects with equal fingerprints evaluate
+ * and encode identically, so the fingerprint — never the object's
+ * address — can key caches of verification sessions and results. A
+ * long-lived server reloads models, and a reloaded model can land on a
+ * recycled allocation whose raw pointer would alias a stale session.
+ */
+struct ModelFingerprint {
+    uint64_t hi = 0;
+    uint64_t lo = 0;
+
+    bool operator==(const ModelFingerprint &) const = default;
+    bool operator<(const ModelFingerprint &other) const
+    {
+        return hi != other.hi ? hi < other.hi : lo < other.lo;
+    }
+
+    /** 32 hex digits, for logs and reports. */
+    std::string str() const;
+};
+
 class CatModel {
   public:
     /**
@@ -36,14 +59,19 @@ class CatModel {
     /** True if the model contains at least one `flag ~empty` axiom. */
     bool hasFlaggedAxioms() const;
 
+    /** Content fingerprint (computed once at construction). */
+    const ModelFingerprint &fingerprint() const { return fingerprint_; }
+
   private:
     CatModel(ParsedModel parsed, const Vocabulary &vocab);
 
     void resolveAndCheck();
     void resolveExpr(Expr &e, int numVisibleLets);
+    void computeFingerprint();
 
     ParsedModel parsed_;
     const Vocabulary *vocab_;
+    ModelFingerprint fingerprint_;
 };
 
 } // namespace gpumc::cat

@@ -2,58 +2,16 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
-#include <tuple>
+#include <optional>
 
+#include "core/session_key.hpp"
+#include "serve/completion_queue.hpp"
+#include "serve/executor.hpp"
 #include "support/diagnostics.hpp"
 #include "support/thread_pool.hpp"
 #include "support/trace.hpp"
 
 namespace gpumc::core {
-
-namespace {
-
-/**
- * Session-cache key: jobs with equal keys produce identical structural
- * encodings, so they may share one live Verifier. Every option that
- * reaches the encoder is part of the key; the unroll bound is
- * normalized to -1 for straight-line programs (their unrolling — and
- * hence the whole encoding, given an equal effective value width — is
- * the same at every bound).
- */
-using SessionKey = std::tuple<uint64_t, uint64_t,       // fingerprint
-                              const cat::CatModel *,    // model identity
-                              int,                      // backend kind
-                              int,                      // normalized bound
-                              int,                      // effective bits
-                              bool, bool,               // encoder ablations
-                              bool, bool,               // witness handling
-                              int64_t,                  // solver budget
-                              int>;                     // cube depth
-
-SessionKey
-sessionKey(const BatchJob &job, const prog::ProgramFingerprint &fp)
-{
-    const VerifierOptions &o = job.options;
-    int effectiveBits = o.valueBits > 0
-                            ? o.valueBits
-                            : job.program->suggestedValueBits(o.bound);
-    int normalizedBound = job.program->isStraightLine() ? -1 : o.bound;
-    return {fp.hi,
-            fp.lo,
-            job.model,
-            static_cast<int>(o.backend),
-            normalizedBound,
-            effectiveBits,
-            o.useLowerBounds,
-            o.forceClosureSoundness,
-            o.validateWitness,
-            o.wantWitness,
-            o.solverTimeoutMs,
-            o.cubeDepth};
-}
-
-} // namespace
 
 BatchVerifier::BatchVerifier(unsigned jobs)
     : jobs_(jobs == 0 ? defaultConcurrency() : jobs)
@@ -65,7 +23,6 @@ BatchVerifier::run(const std::vector<BatchJob> &batch,
                    const ProgressFn &onDone) const
 {
     std::vector<BatchEntry> entries(batch.size());
-    std::mutex progressMutex;
 
     // Group jobs that may share a live session. Grouping happens up
     // front, in input order, so the group list (and thus every
@@ -83,17 +40,26 @@ BatchVerifier::run(const std::vector<BatchJob> &batch,
             groups.push_back({{i}});
             continue;
         }
-        SessionKey key = sessionKey(job, job.program->fingerprint());
+        SessionKey key = sessionKey(*job.program, *job.model, job.options);
         auto [it, inserted] = groupOf.try_emplace(key, groups.size());
         if (inserted)
             groups.push_back({});
         groups[it->second].indices.push_back(i);
     }
 
-    parallelFor(
-        static_cast<int64_t>(groups.size()), jobs_, [&](int64_t g) {
-            trace::Tracer::instance().nameCurrentThread("batch-worker");
-            const Group &group = groups[static_cast<size_t>(g)];
+    // Progress callbacks are delivered on a dedicated drain thread, in
+    // completion order, from per-entry snapshots: a slow consumer backs
+    // up the drain queue, never the verification workers.
+    std::optional<serve::CompletionQueue> drain;
+    if (onDone)
+        drain.emplace();
+
+    unsigned workers = static_cast<unsigned>(
+        std::min<size_t>(jobs_, groups.empty() ? 1 : groups.size()));
+    serve::Executor exec(workers, 0, "batch-worker");
+    for (size_t g = 0; g < groups.size(); ++g) {
+        exec.submit([&, g] {
+            const Group &group = groups[g];
             // One shared Verifier per group; a job that throws gets its
             // session discarded so the remaining jobs of the group run
             // on a fresh one instead of a half-encoded solver. Before
@@ -145,12 +111,20 @@ BatchVerifier::run(const std::vector<BatchJob> &batch,
                     fail(entry, jobTimer, "unknown non-standard exception");
                 }
                 jobSpan.close();
-                if (onDone) {
-                    std::lock_guard<std::mutex> lock(progressMutex);
-                    onDone(i, entry);
+                if (drain) {
+                    // Snapshot by value: the worker moves on (and may
+                    // never touch entries[i] again), while the drain
+                    // thread delivers whenever the consumer is ready.
+                    drain->push([&onDone, i, snapshot = entry] {
+                        onDone(i, snapshot);
+                    });
                 }
             }
         });
+    }
+    exec.drain();
+    if (drain)
+        drain->flush();
 
     return entries;
 }

@@ -4,8 +4,9 @@
  * (program, model, property) queries out across worker threads and
  * collects the results in input order.
  *
- * Jobs that target the same (program fingerprint, model, bound,
- * backend) are grouped onto one shared incremental Verifier session:
+ * Jobs with equal session keys (program fingerprint, model content
+ * fingerprint, bound, backend — see core/session_key.hpp) are grouped
+ * onto one shared incremental Verifier session:
  * the unroll/analysis/encode pipeline runs once per group and each
  * job is an assumption-guarded query on the live solver (see
  * core::Verifier). Groups share no mutable state with each other, so
@@ -44,8 +45,9 @@ struct BatchJob {
     std::string label;
     /**
      * Allow this job to share one live session with other jobs of the
-     * same session-cache group (equal program fingerprint, model,
-     * backend, effective encoding parameters; for straight-line
+     * same session-cache group (equal program fingerprint, model
+     * content fingerprint, backend, effective encoding parameters; for
+     * straight-line
      * programs the unroll bound is ignored, since their unrolling is
      * bound-independent — this is what lets ascending-bound re-solves
      * reuse lower-bound sessions soundly). Set to false to force a
@@ -76,9 +78,11 @@ class BatchVerifier {
     unsigned jobs() const { return jobs_; }
 
     /**
-     * Called after each query completes, with its input index.
-     * Invocations are serialized (safe to print from) but arrive in
-     * completion order, not input order.
+     * Called after each query completes, with its input index and a
+     * snapshot of its entry. Invocations are serialized on a dedicated
+     * drain thread (safe to print from) and arrive in completion
+     * order, not input order. Delivery never blocks the verification
+     * workers: a slow consumer backs up the drain queue only.
      */
     using ProgressFn =
         std::function<void(size_t index, const BatchEntry &entry)>;

@@ -5,6 +5,8 @@
 #include <map>
 #include <set>
 
+#include "support/hash.hpp"
+
 namespace gpumc::prog {
 
 int
@@ -199,41 +201,8 @@ Program::validate()
 
 namespace {
 
-/**
- * FNV-1a over a typed field stream. Two instances with different
- * offset bases run in lockstep to produce the 128-bit fingerprint;
- * every field is fed with a small tag so that adjacent defaulted
- * fields cannot alias each other.
- */
-class FieldHasher {
-  public:
-    explicit FieldHasher(uint64_t basis) : h_(basis) {}
-
-    void u64(uint64_t v)
-    {
-        for (int i = 0; i < 8; ++i) {
-            h_ ^= (v >> (i * 8)) & 0xff;
-            h_ *= kPrime;
-        }
-    }
-    void i64(int64_t v) { u64(static_cast<uint64_t>(v)); }
-    void tag(char c) { u64(static_cast<uint64_t>(c) | 0x100); }
-    void boolean(bool b) { u64(b ? 1 : 2); }
-    void str(const std::string &s)
-    {
-        u64(s.size());
-        for (char c : s) {
-            h_ ^= static_cast<unsigned char>(c);
-            h_ *= kPrime;
-        }
-    }
-
-    uint64_t value() const { return h_; }
-
-  private:
-    static constexpr uint64_t kPrime = 1099511628211ull;
-    uint64_t h_;
-};
+// FieldHasher (support/hash.hpp) provides the FNV-1a field stream; the
+// offset bases below are kept verbatim so fingerprints are unchanged.
 
 void
 hashOperand(FieldHasher &h, const Operand &o)

@@ -1,0 +1,61 @@
+#include "serve/completion_queue.hpp"
+
+#include "support/trace.hpp"
+
+namespace gpumc::serve {
+
+CompletionQueue::CompletionQueue()
+    : thread_([this] { drainLoop(); })
+{
+}
+
+CompletionQueue::~CompletionQueue()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    wake_.notify_all();
+    thread_.join();
+}
+
+void
+CompletionQueue::push(std::function<void()> callback)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(callback));
+    }
+    wake_.notify_one();
+}
+
+void
+CompletionQueue::flush()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.wait(lock, [this] { return queue_.empty() && !running_; });
+}
+
+void
+CompletionQueue::drainLoop()
+{
+    trace::Tracer::instance().nameCurrentThread("completion-drain");
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        wake_.wait(lock,
+                   [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) // stopping_ and drained
+            return;
+        std::function<void()> callback = std::move(queue_.front());
+        queue_.pop_front();
+        running_ = true;
+        lock.unlock();
+        callback();
+        lock.lock();
+        running_ = false;
+        if (queue_.empty())
+            idle_.notify_all();
+    }
+}
+
+} // namespace gpumc::serve

@@ -1,0 +1,52 @@
+#include "serve/result_cache.hpp"
+
+namespace gpumc::serve {
+
+std::optional<CachedResult>
+ResultCache::lookup(const ResultKey &key)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+        misses_++;
+        return std::nullopt;
+    }
+    hits_++;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->second;
+}
+
+void
+ResultCache::insert(const ResultKey &key, CachedResult value)
+{
+    if (capacity_ == 0)
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+        it->second->second = std::move(value);
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return;
+    }
+    lru_.emplace_front(key, std::move(value));
+    index_[key] = lru_.begin();
+    if (lru_.size() > capacity_) {
+        index_.erase(lru_.back().first);
+        lru_.pop_back();
+        evictions_++;
+    }
+}
+
+ResultCache::Counters
+ResultCache::counters() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Counters c;
+    c.hits = hits_;
+    c.misses = misses_;
+    c.evictions = evictions_;
+    c.size = static_cast<int64_t>(lru_.size());
+    return c;
+}
+
+} // namespace gpumc::serve

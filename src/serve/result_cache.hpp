@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Fingerprint-keyed verdict cache for gpumc-serve.
+ *
+ * Key: the session key of the request (program fingerprint, model
+ * *content* fingerprint, every encoder-reaching option — see
+ * core/session_key.hpp) plus the property. Two requests with equal
+ * keys decide the same formula, so the cached verdict is exact, not
+ * heuristic. Unknown results (budget exhaustion) are never cached —
+ * a later request with more budget deserves a real solve.
+ *
+ * LRU eviction at a fixed capacity; hit/miss/eviction counters feed
+ * the `metrics` endpoint.
+ */
+
+#ifndef GPUMC_SERVE_RESULT_CACHE_HPP
+#define GPUMC_SERVE_RESULT_CACHE_HPP
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "core/session_key.hpp"
+
+namespace gpumc::serve {
+
+/** Result cache key: one property checked under one session key. */
+using ResultKey = std::pair<core::SessionKey, int>;
+
+/** The cached portion of a verdict (witnesses are not cached). */
+struct CachedResult {
+    bool holds = false;
+    std::string detail;
+    /** Wall-clock cost of the original (miss) solve, for reporting. */
+    double solveMs = 0.0;
+};
+
+class ResultCache {
+  public:
+    explicit ResultCache(size_t capacity) : capacity_(capacity) {}
+
+    /** Look up @p key, refreshing its LRU position on a hit. */
+    std::optional<CachedResult> lookup(const ResultKey &key);
+
+    /** Insert or refresh @p key, evicting the LRU entry when full. */
+    void insert(const ResultKey &key, CachedResult value);
+
+    struct Counters {
+        int64_t hits = 0;
+        int64_t misses = 0;
+        int64_t evictions = 0;
+        int64_t size = 0;
+    };
+    Counters counters() const;
+
+  private:
+    using Entry = std::pair<ResultKey, CachedResult>;
+
+    const size_t capacity_;
+    mutable std::mutex mutex_;
+    std::list<Entry> lru_; // front = most recent
+    std::map<ResultKey, std::list<Entry>::iterator> index_;
+    int64_t hits_ = 0;
+    int64_t misses_ = 0;
+    int64_t evictions_ = 0;
+};
+
+} // namespace gpumc::serve
+
+#endif // GPUMC_SERVE_RESULT_CACHE_HPP

@@ -1,0 +1,376 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <condition_variable>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "serve/completion_queue.hpp"
+#include "support/diagnostics.hpp"
+
+namespace gpumc::serve {
+
+namespace {
+
+/** Self-pipe write end for the async-signal-safe SIGTERM handler. */
+std::atomic<int> gStopFd{-1};
+
+extern "C" void
+stopSignalHandler(int)
+{
+    int fd = gStopFd.load(std::memory_order_relaxed);
+    if (fd >= 0) {
+        char byte = 's';
+        // The return value is irrelevant: a full pipe already means a
+        // stop is pending.
+        [[maybe_unused]] ssize_t n = write(fd, &byte, 1);
+    }
+}
+
+void
+writeAll(int fd, const char *data, size_t size)
+{
+    while (size > 0) {
+        ssize_t n = write(fd, data, size);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return; // EPIPE etc.: client is gone, drop the response
+        }
+        data += static_cast<size_t>(n);
+        size -= static_cast<size_t>(n);
+    }
+}
+
+} // namespace
+
+/**
+ * One client connection: a reader thread feeding the Engine, and a
+ * CompletionQueue delivering responses in order without ever blocking
+ * a verification worker on this client's socket.
+ */
+struct Server::Connection {
+    int readFd = -1;
+    int writeFd = -1;
+    /** When >= 0, poll this fd alongside readFd and stop on it —
+     *  stdio cannot be half-closed the way sockets can. */
+    int stopFd = -1;
+    Server *server = nullptr;
+
+    std::mutex mutex;
+    std::condition_variable cv;
+    size_t pendingResponses = 0;
+    CompletionQueue out;
+
+    void sendLine(const std::string &line)
+    {
+        out.push([this, line] {
+            std::string framed = line + "\n";
+            writeAll(writeFd, framed.data(), framed.size());
+            std::lock_guard<std::mutex> lock(mutex);
+            pendingResponses--;
+            cv.notify_all();
+        });
+    }
+
+    void waitResponses()
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        cv.wait(lock, [this] { return pendingResponses == 0; });
+    }
+};
+
+Server::Server(Engine &engine, ServerOptions options)
+    : engine_(engine), options_(std::move(options))
+{
+}
+
+Server::~Server()
+{
+    if (stopPipe_[0] >= 0) {
+        gStopFd.store(-1, std::memory_order_relaxed);
+        close(stopPipe_[0]);
+        close(stopPipe_[1]);
+    }
+}
+
+void
+Server::requestStop()
+{
+    if (stopPipe_[1] >= 0) {
+        char byte = 's';
+        [[maybe_unused]] ssize_t n = write(stopPipe_[1], &byte, 1);
+    }
+}
+
+void
+Server::serveConnection(Connection &conn)
+{
+    std::string buffer;
+    bool discarding = false; // inside an oversized line, until '\n'
+    char chunk[65536];
+    bool open = true;
+
+    auto dispatch = [&](const std::string &line) {
+        {
+            std::lock_guard<std::mutex> lock(conn.mutex);
+            conn.pendingResponses++;
+        }
+        bool keep = engine_.handle(
+            line, [&conn](const std::string &response) {
+                conn.sendLine(response);
+            });
+        if (!keep) {
+            open = false;
+            conn.server->requestStop();
+        }
+    };
+
+    while (open) {
+        if (conn.stopFd >= 0) {
+            struct pollfd pfds[2] = {{conn.readFd, POLLIN, 0},
+                                     {conn.stopFd, POLLIN, 0}};
+            int ready = poll(pfds, 2, -1);
+            if (ready < 0) {
+                if (errno == EINTR)
+                    continue;
+                break;
+            }
+            if (pfds[1].revents != 0)
+                break; // stop requested (SIGTERM / shutdown op)
+            if ((pfds[0].revents & (POLLIN | POLLHUP)) == 0)
+                continue;
+        }
+        ssize_t n = read(conn.readFd, chunk, sizeof chunk);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (n == 0)
+            break; // EOF (or SHUT_RD from the stopper)
+        size_t start = 0;
+        for (ssize_t i = 0; i < n && open; ++i) {
+            if (chunk[i] != '\n')
+                continue;
+            if (discarding) {
+                discarding = false; // resynchronized
+            } else {
+                buffer.append(chunk + start,
+                              static_cast<size_t>(i) - start);
+                if (!buffer.empty())
+                    dispatch(buffer);
+                buffer.clear();
+            }
+            start = static_cast<size_t>(i) + 1;
+        }
+        if (open && !discarding) {
+            buffer.append(chunk + start, static_cast<size_t>(n) - start);
+            if (buffer.size() > kMaxLineBytes) {
+                // Answer the oversize immediately and drop input until
+                // the next newline — the daemon never buffers a line
+                // without bound.
+                {
+                    std::lock_guard<std::mutex> lock(conn.mutex);
+                    conn.pendingResponses++;
+                }
+                conn.sendLine(errorResponse(
+                    "null", "request line exceeds " +
+                                std::to_string(kMaxLineBytes) +
+                                " bytes"));
+                buffer.clear();
+                buffer.shrink_to_fit();
+                discarding = true;
+            }
+        }
+    }
+    // A final unterminated line still counts as a request (stdio
+    // clients often omit the last newline).
+    if (open && !discarding && !buffer.empty())
+        dispatch(buffer);
+
+    conn.waitResponses();
+    conn.out.flush();
+}
+
+int
+Server::runStdio()
+{
+    Connection conn;
+    conn.readFd = STDIN_FILENO;
+    conn.writeFd = STDOUT_FILENO;
+    conn.stopFd = stopPipe_[0]; // SIGTERM must interrupt read(0)
+    conn.server = this;
+    // serveConnection returns only after every admitted request has
+    // responded, so the drain below is belt and braces.
+    serveConnection(conn);
+    engine_.drain();
+    conn.waitResponses();
+    conn.out.flush();
+    return 0;
+}
+
+int
+Server::runListener()
+{
+    bool isUnix = !options_.unixPath.empty();
+    listenFd_ = socket(isUnix ? AF_UNIX : AF_INET, SOCK_STREAM, 0);
+    if (listenFd_ < 0) {
+        std::perror("gpumc-serve: socket");
+        return 2;
+    }
+
+    if (isUnix) {
+        struct sockaddr_un addr;
+        std::memset(&addr, 0, sizeof addr);
+        addr.sun_family = AF_UNIX;
+        if (options_.unixPath.size() >= sizeof addr.sun_path) {
+            std::fprintf(stderr,
+                         "gpumc-serve: unix socket path too long\n");
+            return 2;
+        }
+        std::strncpy(addr.sun_path, options_.unixPath.c_str(),
+                     sizeof addr.sun_path - 1);
+        unlink(options_.unixPath.c_str());
+        if (bind(listenFd_,
+                 reinterpret_cast<struct sockaddr *>(&addr),
+                 sizeof addr) < 0) {
+            std::perror("gpumc-serve: bind");
+            return 2;
+        }
+    } else {
+        int one = 1;
+        setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                   sizeof one);
+        struct sockaddr_in addr;
+        std::memset(&addr, 0, sizeof addr);
+        addr.sin_family = AF_INET;
+        addr.sin_port =
+            htons(static_cast<uint16_t>(options_.port));
+        if (inet_pton(AF_INET, options_.host.c_str(),
+                      &addr.sin_addr) != 1) {
+            std::fprintf(stderr, "gpumc-serve: bad listen host '%s'\n",
+                         options_.host.c_str());
+            return 2;
+        }
+        if (bind(listenFd_,
+                 reinterpret_cast<struct sockaddr *>(&addr),
+                 sizeof addr) < 0) {
+            std::perror("gpumc-serve: bind");
+            return 2;
+        }
+    }
+    if (listen(listenFd_, 64) < 0) {
+        std::perror("gpumc-serve: listen");
+        return 2;
+    }
+
+    if (isUnix) {
+        std::printf("listening on %s\n", options_.unixPath.c_str());
+    } else {
+        struct sockaddr_in bound;
+        socklen_t len = sizeof bound;
+        getsockname(listenFd_,
+                    reinterpret_cast<struct sockaddr *>(&bound), &len);
+        std::printf("listening on %s:%d\n", options_.host.c_str(),
+                    static_cast<int>(ntohs(bound.sin_port)));
+    }
+    std::fflush(stdout);
+
+    for (;;) {
+        struct pollfd pfds[2] = {{listenFd_, POLLIN, 0},
+                                 {stopPipe_[0], POLLIN, 0}};
+        int ready = poll(pfds, 2, -1);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (pfds[1].revents != 0)
+            break; // stop requested
+        if ((pfds[0].revents & POLLIN) == 0)
+            continue;
+        int fd = accept(listenFd_, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+        auto *conn = new Connection;
+        conn->readFd = fd;
+        conn->writeFd = fd;
+        conn->server = this;
+        {
+            std::lock_guard<std::mutex> lock(connectionsMutex_);
+            connections_.push_back(conn);
+        }
+        // Detached and self-reaping: the thread deregisters (making
+        // the fd invisible to the shutdown half-close) before closing
+        // and freeing, so the stopper never touches a dead fd.
+        std::thread([this, conn] {
+            serveConnection(*conn);
+            {
+                std::lock_guard<std::mutex> lock(connectionsMutex_);
+                connections_.erase(std::find(connections_.begin(),
+                                             connections_.end(), conn),
+                                   connections_.end());
+                connectionsCv_.notify_all();
+            }
+            close(conn->readFd);
+            delete conn;
+        }).detach();
+    }
+
+    close(listenFd_);
+    listenFd_ = -1;
+    if (isUnix)
+        unlink(options_.unixPath.c_str());
+
+    // Half-close every connection so blocked readers see EOF, then
+    // wait for the connection threads to finish responding and
+    // deregister themselves.
+    {
+        std::unique_lock<std::mutex> lock(connectionsMutex_);
+        for (Connection *conn : connections_)
+            shutdown(conn->readFd, SHUT_RD);
+        connectionsCv_.wait(lock,
+                            [this] { return connections_.empty(); });
+    }
+    engine_.drain();
+    return 0;
+}
+
+int
+Server::run()
+{
+    if (pipe(stopPipe_) != 0) {
+        std::perror("gpumc-serve: pipe");
+        return 2;
+    }
+    gStopFd.store(stopPipe_[1], std::memory_order_relaxed);
+
+    // Graceful shutdown on SIGTERM/SIGINT via the self-pipe; a client
+    // that disappears mid-response must not kill the daemon (EPIPE is
+    // handled at the write site).
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof sa);
+    sa.sa_handler = stopSignalHandler;
+    sigaction(SIGTERM, &sa, nullptr);
+    sigaction(SIGINT, &sa, nullptr);
+    std::signal(SIGPIPE, SIG_IGN);
+
+    if (options_.stdio ||
+        (options_.port < 0 && options_.unixPath.empty()))
+        return runStdio();
+    return runListener();
+}
+
+} // namespace gpumc::serve

@@ -96,6 +96,15 @@ PortfolioBackend::solve(const std::vector<Lit> &assumptions)
 {
     solveCalls_++;
 
+    // Every solve starts with clean lanes: an interrupt() raised while
+    // no query was in flight (a cancelled deadline, a prior race whose
+    // loser never got to clear) must not leak into this query and turn
+    // a decidable result into a spurious Unknown. This matters most on
+    // the budget-starved sequential path below, which used to solve on
+    // the builtin lane with whatever interrupt flag was left behind.
+    builtin_->clearInterrupt();
+    z3_->clearInterrupt();
+
     // One helper slot carries the Z3 lane; the builtin lane runs on
     // the calling thread. With no slot free (the batch layer already
     // saturated --jobs) solve sequentially on the builtin lane — the

@@ -21,6 +21,14 @@
  * no slot is free (e.g. BatchVerifier already saturated `--jobs`), the
  * query falls back to a sequential builtin solve, keeping total
  * concurrency capped and verdicts unchanged.
+ *
+ * solve() clears both lanes' interrupt flags on entry: each query
+ * starts clean, and a cancellation only takes effect if it arrives
+ * while the query is in flight. An interrupt raised between queries
+ * (e.g. by a deadline that fired after the previous solve returned)
+ * is deliberately dropped rather than poisoning the next query with a
+ * spurious Unknown — callers enforcing deadlines across queries must
+ * re-check the deadline, not rely on a parked interrupt flag.
  */
 
 #ifndef GPUMC_SMT_PORTFOLIO_BACKEND_HPP

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * FNV-1a field hasher shared by the structural fingerprints
+ * (prog::Program::fingerprint, cat::CatModel::fingerprint). Two
+ * instances seeded with independent offset bases run in lockstep to
+ * produce a 128-bit fingerprint; every field is fed with a small tag
+ * so adjacent defaulted fields cannot alias each other.
+ */
+
+#ifndef GPUMC_SUPPORT_HASH_HPP
+#define GPUMC_SUPPORT_HASH_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace gpumc {
+
+class FieldHasher {
+  public:
+    /** Standard FNV-1a 64-bit offset basis. */
+    static constexpr uint64_t kBasisA = 14695981039346656037ull;
+    /** Independent second basis for the high fingerprint half. */
+    static constexpr uint64_t kBasisB =
+        14695981039346656037ull ^ 0x9e3779b97f4a7c15ull;
+
+    explicit FieldHasher(uint64_t basis) : h_(basis) {}
+
+    void u64(uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i) {
+            h_ ^= (v >> (i * 8)) & 0xff;
+            h_ *= kPrime;
+        }
+    }
+    void i64(int64_t v) { u64(static_cast<uint64_t>(v)); }
+    void tag(char c) { u64(static_cast<uint64_t>(c) | 0x100); }
+    void boolean(bool b) { u64(b ? 1 : 2); }
+    void str(const std::string &s)
+    {
+        u64(s.size());
+        for (char c : s) {
+            h_ ^= static_cast<unsigned char>(c);
+            h_ *= kPrime;
+        }
+    }
+
+    uint64_t value() const { return h_; }
+
+  private:
+    static constexpr uint64_t kPrime = 1099511628211ull;
+    uint64_t h_;
+};
+
+} // namespace gpumc
+
+#endif // GPUMC_SUPPORT_HASH_HPP

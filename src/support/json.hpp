@@ -10,8 +10,11 @@
 #ifndef GPUMC_SUPPORT_JSON_HPP
 #define GPUMC_SUPPORT_JSON_HPP
 
+#include <cstdint>
+#include <map>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace gpumc {
 
@@ -25,6 +28,44 @@ std::string jsonEscape(std::string_view s);
 
 /** @p s escaped and wrapped in double quotes. */
 std::string jsonString(std::string_view s);
+
+/**
+ * A parsed JSON document. Added for the gpumc-serve request path: the
+ * daemon reads line-delimited JSON from untrusted clients, so parse
+ * errors are reported via parseJson's out-parameter (and turned into
+ * an `error` response), never via exceptions or process exit.
+ */
+struct JsonValue {
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string text;
+    std::vector<JsonValue> items;
+    std::map<std::string, JsonValue> members;
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isObject() const { return kind == Kind::Object; }
+    bool isString() const { return kind == Kind::String; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isBool() const { return kind == Kind::Bool; }
+
+    /** Member lookup; nullptr when absent or not an object. */
+    const JsonValue *find(const std::string &key) const;
+
+    /** The number as int64 (truncating); 0 if not a number. */
+    int64_t asInt() const;
+};
+
+/**
+ * Strict RFC 8259 parse of a complete document. On failure returns a
+ * Null value and describes the problem (with byte offset) in @p error;
+ * on success @p error is cleared. Rejects trailing content, trailing
+ * commas, duplicate object keys and bad escapes; `\uXXXX` escapes
+ * (including surrogate pairs) are decoded to UTF-8.
+ */
+JsonValue parseJson(std::string_view text, std::string &error);
 
 } // namespace gpumc
 

@@ -1,0 +1,246 @@
+/**
+ * @file
+ * serve::Executor and serve::CompletionQueue: admission control,
+ * drain/rethrow semantics, thread-budget degradation and in-order
+ * completion delivery — plus the BatchVerifier progress-delivery
+ * regression: a completion consumer that waits on the rest of the
+ * workload must not stall (or deadlock) the verification workers, as
+ * it did when progress callbacks ran on a worker under the progress
+ * mutex.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/batch_verifier.hpp"
+#include "serve/completion_queue.hpp"
+#include "serve/executor.hpp"
+#include "support/thread_budget.hpp"
+#include "tests/test_util.hpp"
+
+namespace gpumc::test {
+namespace {
+
+/** Restore the process thread budget on scope exit. */
+struct BudgetGuard {
+    explicit BudgetGuard(unsigned total)
+    {
+        ThreadBudget::instance().setTotal(total);
+    }
+    ~BudgetGuard() { ThreadBudget::instance().setTotal(0); }
+};
+
+TEST(Executor, ExecutesEverySubmittedTask)
+{
+    serve::Executor exec(4);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 64; ++i)
+        exec.submit([&ran] { ran++; });
+    exec.drain();
+    EXPECT_EQ(ran.load(), 64);
+
+    serve::Executor::Counters counters = exec.counters();
+    EXPECT_EQ(counters.accepted, 64);
+    EXPECT_EQ(counters.executed, 64);
+    EXPECT_EQ(counters.rejected, 0);
+}
+
+TEST(Executor, ReusableAcrossDrains)
+{
+    serve::Executor exec(2);
+    std::atomic<int> ran{0};
+    exec.submit([&ran] { ran++; });
+    exec.drain();
+    exec.submit([&ran] { ran++; });
+    exec.drain();
+    EXPECT_EQ(ran.load(), 2);
+}
+
+TEST(Executor, BoundedAdmissionRejectsWhenSaturated)
+{
+    serve::Executor exec(1, 1);
+    ASSERT_EQ(exec.workers(), 1u);
+
+    // Handshake so the queue state is deterministic: the one worker is
+    // provably busy (and the queue empty) before the trySubmits below.
+    std::promise<void> started;
+    std::promise<void> release;
+    std::shared_future<void> gate = release.get_future().share();
+    std::atomic<int> ran{0};
+    exec.submit([&started, gate, &ran] {
+        started.set_value();
+        gate.wait();
+        ran++;
+    });
+    started.get_future().wait();
+
+    EXPECT_EQ(exec.trySubmit([&ran] { ran++; }),
+              serve::Executor::Admit::Accepted); // fills the queue
+    EXPECT_EQ(exec.trySubmit([&ran] { ran++; }),
+              serve::Executor::Admit::Overloaded);
+
+    release.set_value();
+    exec.drain();
+    EXPECT_EQ(ran.load(), 2);
+
+    serve::Executor::Counters counters = exec.counters();
+    EXPECT_EQ(counters.accepted, 2);
+    EXPECT_EQ(counters.executed, 2);
+    EXPECT_EQ(counters.rejected, 1);
+    EXPECT_GE(counters.maxQueueDepth, 1);
+}
+
+TEST(Executor, DrainRethrowsFirstTaskException)
+{
+    serve::Executor exec(2);
+    exec.submit([] { throw std::runtime_error("task failed"); });
+    EXPECT_THROW(exec.drain(), std::runtime_error);
+
+    // The error is consumed: the executor keeps serving afterwards.
+    std::atomic<int> ran{0};
+    exec.submit([&ran] { ran++; });
+    exec.drain();
+    EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(Executor, DegradesToOneWorkerWhenBudgetExhausted)
+{
+    BudgetGuard budget(1); // no helper slots at all
+    serve::Executor exec(8);
+    EXPECT_EQ(exec.workers(), 1u);
+
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 16; ++i)
+        exec.submit([&ran] { ran++; });
+    exec.drain();
+    EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(CompletionQueue, DeliversInPushOrder)
+{
+    serve::CompletionQueue queue;
+    std::vector<int> seen; // drain thread only; no lock needed
+    for (int i = 0; i < 100; ++i)
+        queue.push([&seen, i] { seen.push_back(i); });
+    queue.flush();
+    ASSERT_EQ(seen.size(), 100u);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(seen[static_cast<size_t>(i)], i);
+}
+
+TEST(CompletionQueue, FlushWaitsForCallbackReturn)
+{
+    serve::CompletionQueue queue;
+    std::atomic<bool> finished{false};
+    queue.push([&finished] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        finished = true;
+    });
+    queue.flush();
+    EXPECT_TRUE(finished.load());
+}
+
+TEST(CompletionQueue, SlowConsumerDoesNotBlockProducers)
+{
+    serve::CompletionQueue queue;
+    std::promise<void> release;
+    std::shared_future<void> gate = release.get_future().share();
+    queue.push([gate] { gate.wait(); });
+
+    // With the first callback parked, later pushes must still return
+    // immediately — and stay undelivered (in-order contract).
+    std::atomic<int> delivered{0};
+    for (int i = 0; i < 1000; ++i)
+        queue.push([&delivered] { delivered++; });
+    EXPECT_EQ(delivered.load(), 0);
+
+    release.set_value();
+    queue.flush();
+    EXPECT_EQ(delivered.load(), 1000);
+}
+
+TEST(CompletionQueue, BlockedConsumerDoesNotStallExecutorWorkers)
+{
+    // Regression for the BatchVerifier progress-lock bug: progress
+    // used to be delivered on the worker itself, under the progress
+    // mutex, so a completion callback waiting for the *rest of the
+    // workload to compute* wedged the whole pool (the other workers
+    // blocked on the mutex; the computation the callback waited for
+    // never ran). With the drain design, workers only pay for the
+    // enqueue, so every callback below eventually observes all tasks
+    // computed.
+    serve::Executor exec(2);
+    serve::CompletionQueue drain;
+    constexpr int total = 8;
+    std::atomic<int> computed{0};
+    std::atomic<int> sawAllComputed{0};
+
+    for (int i = 0; i < total; ++i) {
+        exec.submit([&computed, &drain, &sawAllComputed] {
+            computed++;
+            drain.push([&computed, &sawAllComputed] {
+                for (int spin = 0;
+                     computed.load() < total && spin < 2000; ++spin)
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(5));
+                if (computed.load() == total)
+                    sawAllComputed++;
+            });
+        });
+    }
+    exec.drain();
+    drain.flush();
+    EXPECT_EQ(computed.load(), total);
+    EXPECT_EQ(sawAllComputed.load(), total);
+}
+
+TEST(BatchVerifierProgress, SerializedOffWorkersAndComplete)
+{
+    // The ProgressFn contract: every index delivered exactly once, on
+    // one dedicated thread that is neither the caller nor a worker.
+    prog::Program mp =
+        litmus::parseLitmusFile(litmusPath("ptx/basic/mp-weak.litmus"));
+    prog::Program sb =
+        litmus::parseLitmusFile(litmusPath("ptx/basic/sb-weak.litmus"));
+
+    std::vector<core::BatchJob> batch;
+    for (const prog::Program *program : {&mp, &sb}) {
+        core::BatchJob job;
+        job.program = program;
+        job.model = &modelFor(*program);
+        job.property = core::Property::Safety;
+        job.label = program->name;
+        batch.push_back(std::move(job));
+    }
+
+    std::mutex mutex;
+    std::set<std::thread::id> threads;
+    std::vector<size_t> indices;
+    std::vector<core::BatchEntry> entries = core::BatchVerifier(2).run(
+        batch, [&](size_t index, const core::BatchEntry &entry) {
+            std::lock_guard<std::mutex> lock(mutex);
+            threads.insert(std::this_thread::get_id());
+            indices.push_back(index);
+            EXPECT_FALSE(entry.failed) << entry.error;
+        });
+
+    ASSERT_EQ(entries.size(), batch.size());
+    EXPECT_EQ(indices.size(), batch.size());
+    std::sort(indices.begin(), indices.end());
+    for (size_t i = 0; i < indices.size(); ++i)
+        EXPECT_EQ(indices[i], i);
+    EXPECT_EQ(threads.size(), 1u);
+    EXPECT_EQ(threads.count(std::this_thread::get_id()), 0u);
+}
+
+} // namespace
+} // namespace gpumc::test

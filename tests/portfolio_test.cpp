@@ -204,6 +204,27 @@ TEST(PortfolioBuiltinLane, PendingInterruptCancelsNextSolve)
     EXPECT_EQ(backend->solve(), smt::SolveResult::Unsat);
 }
 
+TEST(Portfolio, InterruptThenSequentialFallbackStaysDecisive)
+{
+    // Regression: with the thread budget starved (no helper slot) the
+    // portfolio solves sequentially on the builtin lane. A pending
+    // interrupt — e.g. raised by a caller between queries, or left by
+    // a prior race — used to leak into that solve and turn a decidable
+    // query into a spurious Unknown, because only the racing path
+    // cleared the lanes. solve() must clear both lanes on entry.
+    ThreadBudget::instance().setTotal(1);
+    smt::PortfolioBackend backend;
+    auto clauses = assertSatisfiable(backend);
+    backend.interrupt();
+    EXPECT_EQ(backend.solve({}), smt::SolveResult::Sat);
+    EXPECT_TRUE(modelSatisfies(backend, clauses));
+    std::map<std::string, int64_t> stats = backend.statistics();
+    EXPECT_GT(stats.at("portfolio.sequentialSolves"), 0)
+        << "budget was not starved; the test exercised the racing "
+           "path instead of the sequential fallback";
+    ThreadBudget::instance().setTotal(0);
+}
+
 /** checkAll() verdicts for one litmus program under the given options. */
 std::vector<core::VerificationResult>
 verdictsOf(const prog::Program &program, const cat::CatModel &model,

@@ -7,7 +7,13 @@
  *   gpumc-corpus <directory> [--bound=N]
  *                [--backend=z3|builtin|portfolio] [--cube-depth=N]
  *                [--jobs=N] [--timeout=MS] [--json[=FILE]]
- *                [--fresh-sessions]
+ *                [--fresh-sessions] [--server=HOST:PORT|unix:PATH]
+ *
+ * With --server the tool becomes a thin client of a running
+ * gpumc-serve daemon: every query is sent as a line-delimited JSON
+ * verify request and the verdict comes from the server (typically its
+ * warm fingerprint cache), with identical reporting and exit codes.
+ * Per-query pipeline stats are not available in this mode.
  *
  * Queries (one per file x model x property expectation) are fanned out
  * across worker threads by core::BatchVerifier; queries of one file
@@ -26,11 +32,19 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
 
 #include "cat/model.hpp"
 #include "core/batch_verifier.hpp"
 #include "litmus/litmus_parser.hpp"
+#include "serve/protocol.hpp"
 #include "support/json.hpp"
 #include "support/stats.hpp"
 #include "support/string_utils.hpp"
@@ -52,6 +66,7 @@ struct CliOptions {
     std::string tracePath;
     std::string metricsPath;
     bool freshSessions = false;
+    std::string server; // HOST:PORT or unix:PATH; empty = run locally
 };
 
 /** One expectation check, pointing at its BatchJob/BatchEntry index. */
@@ -101,7 +116,11 @@ usage()
            "  --fresh-sessions  rebuild the verification pipeline per "
            "query instead\n"
            "                of sharing one incremental session per "
-           "file x model\n";
+           "file x model\n"
+           "  --server=HOST:PORT|unix:PATH  send every query to a "
+           "running\n"
+           "                gpumc-serve daemon instead of verifying "
+           "locally\n";
     std::exit(2);
 }
 
@@ -144,6 +163,10 @@ parseArgs(int argc, char **argv)
                 cliInt("--cube-depth", arg.substr(13), 0, 16));
         } else if (arg == "--fresh-sessions") {
             opts.freshSessions = true;
+        } else if (startsWith(arg, "--server=")) {
+            opts.server = arg.substr(9);
+            if (opts.server.empty())
+                usage();
         } else if (arg == "--json") {
             opts.jsonToStdout = true;
         } else if (startsWith(arg, "--json=")) {
@@ -228,6 +251,181 @@ struct Totals {
     int64_t sessionsBuilt = 0;
     int64_t sessionsReused = 0;
 };
+
+/**
+ * Blocking line-oriented client of one gpumc-serve daemon: write a
+ * request line, read the matching response line (the protocol answers
+ * strictly one line per request on a sequential connection).
+ */
+class ServeClient {
+  public:
+    /** @param addr "HOST:PORT" or "unix:PATH". @throws FatalError. */
+    explicit ServeClient(const std::string &addr)
+    {
+        if (startsWith(addr, "unix:")) {
+            std::string path = addr.substr(5);
+            fd_ = socket(AF_UNIX, SOCK_STREAM, 0);
+            struct sockaddr_un sa;
+            std::memset(&sa, 0, sizeof sa);
+            sa.sun_family = AF_UNIX;
+            if (path.size() >= sizeof sa.sun_path)
+                fatal("unix socket path too long: ", path);
+            std::strncpy(sa.sun_path, path.c_str(),
+                         sizeof sa.sun_path - 1);
+            if (fd_ < 0 ||
+                connect(fd_, reinterpret_cast<struct sockaddr *>(&sa),
+                        sizeof sa) != 0) {
+                fatal("cannot connect to gpumc-serve at ", path);
+            }
+            return;
+        }
+        auto colon = addr.rfind(':');
+        if (colon == std::string::npos)
+            fatal("--server expects HOST:PORT or unix:PATH, got ", addr);
+        std::string host = addr.substr(0, colon);
+        std::optional<int64_t> port = parseInt(addr.substr(colon + 1));
+        if (!port || *port < 1 || *port > 65535)
+            fatal("bad --server port in ", addr);
+        fd_ = socket(AF_INET, SOCK_STREAM, 0);
+        struct sockaddr_in sa;
+        std::memset(&sa, 0, sizeof sa);
+        sa.sin_family = AF_INET;
+        sa.sin_port = htons(static_cast<uint16_t>(*port));
+        if (inet_pton(AF_INET, host.c_str(), &sa.sin_addr) != 1)
+            fatal("bad --server host in ", addr);
+        if (fd_ < 0 ||
+            connect(fd_, reinterpret_cast<struct sockaddr *>(&sa),
+                    sizeof sa) != 0) {
+            fatal("cannot connect to gpumc-serve at ", addr);
+        }
+    }
+
+    ~ServeClient()
+    {
+        if (fd_ >= 0)
+            close(fd_);
+    }
+
+    std::string roundTrip(const std::string &request)
+    {
+        std::string line = request + "\n";
+        const char *data = line.data();
+        size_t size = line.size();
+        while (size > 0) {
+            ssize_t n = write(fd_, data, size);
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                fatal("gpumc-serve connection write failed");
+            }
+            data += n;
+            size -= static_cast<size_t>(n);
+        }
+        for (;;) {
+            auto newline = buffer_.find('\n');
+            if (newline != std::string::npos) {
+                std::string response = buffer_.substr(0, newline);
+                buffer_.erase(0, newline + 1);
+                return response;
+            }
+            char chunk[65536];
+            ssize_t n = read(fd_, chunk, sizeof chunk);
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                fatal("gpumc-serve connection read failed");
+            }
+            if (n == 0)
+                fatal("gpumc-serve closed the connection mid-request");
+            buffer_.append(chunk, static_cast<size_t>(n));
+        }
+    }
+
+  private:
+    int fd_ = -1;
+    std::string buffer_;
+};
+
+/**
+ * Remote phase 2: one verify request per query, filling the same
+ * entries vector the local BatchVerifier would. Sequential on one
+ * connection — the daemon's cache and sessions provide the speed.
+ */
+void
+runAgainstServer(const CliOptions &opts,
+                 const std::vector<FileReport> &reports,
+                 const std::vector<core::BatchJob> &batch,
+                 std::vector<core::BatchEntry> &entries)
+{
+    ServeClient client(opts.server);
+    for (const FileReport &report : reports) {
+        if (!report.error.empty())
+            continue;
+        std::ifstream in(report.file);
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        std::string source = buf.str();
+        for (size_t q = 0; q < report.numQueries; ++q) {
+            size_t i = report.firstQuery + q;
+            const core::BatchJob &job = batch[i];
+            core::BatchEntry &entry = entries[i];
+            entry.label = job.label;
+            // Model tag -> shipped model name (the daemon resolves it
+            // under its --cat-dir).
+            std::string modelName =
+                job.model->name() == "PTX v6.0"   ? "ptx-v6.0"
+                : job.model->name() == "PTX v7.5" ? "ptx-v7.5"
+                                                  : "vulkan";
+            std::ostringstream req;
+            req << "{\"id\":" << i << ",\"op\":\"verify\",\"litmus\":"
+                << jsonString(source)
+                << ",\"model\":" << jsonString(modelName)
+                << ",\"property\":\""
+                << serve::propertyWireName(job.property)
+                << "\",\"bound\":" << job.options.bound
+                << ",\"backend\":\""
+                << smt::backendKindName(job.options.backend)
+                << "\",\"timeout_ms\":" << job.options.solverTimeoutMs
+                << "}";
+            std::string responseLine = client.roundTrip(req.str());
+            std::string parseError;
+            JsonValue response = parseJson(responseLine, parseError);
+            if (!parseError.empty()) {
+                entry.failed = true;
+                entry.error = "bad server response: " + parseError;
+                entry.result.unknown = true;
+                entry.result.detail = entry.error;
+                continue;
+            }
+            const JsonValue *status = response.find("status");
+            if (!status || !status->isString() ||
+                status->text != "ok") {
+                const JsonValue *message = response.find("message");
+                entry.failed = true;
+                entry.error =
+                    status && status->text == "overloaded"
+                        ? "server overloaded"
+                        : (message && message->isString()
+                               ? message->text
+                               : "server error");
+                entry.result.unknown = true;
+                entry.result.detail = entry.error;
+                continue;
+            }
+            const JsonValue *holds = response.find("holds");
+            const JsonValue *unknown = response.find("unknown");
+            const JsonValue *detail = response.find("detail");
+            const JsonValue *timeMs = response.find("time_ms");
+            entry.result.property = job.property;
+            entry.result.holds = holds && holds->boolean;
+            entry.result.unknown = unknown && unknown->boolean;
+            if (detail && detail->isString())
+                entry.result.detail = detail->text;
+            if (timeMs && timeMs->isNumber())
+                entry.result.timeMs = timeMs->number;
+        }
+    }
+}
 
 const char *
 verdictOf(const Query &query, const core::BatchEntry &entry)
@@ -394,10 +592,17 @@ main(int argc, char **argv)
         reports.push_back(std::move(report));
     }
 
-    // Phase 2 (parallel): fan the queries out.
+    // Phase 2: fan the queries out — across local workers, or across
+    // the wire to a gpumc-serve daemon (thin-client mode).
     core::BatchVerifier engine(opts.jobs);
     Stopwatch wall;
-    std::vector<core::BatchEntry> entries = engine.run(batch);
+    std::vector<core::BatchEntry> entries;
+    if (opts.server.empty()) {
+        entries = engine.run(batch);
+    } else {
+        entries.resize(batch.size());
+        runAgainstServer(opts, reports, batch, entries);
+    }
     double wallMs = wall.elapsedMs();
 
     // Phase 3 (sequential): deterministic input-order reporting.
