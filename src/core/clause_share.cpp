@@ -1,0 +1,65 @@
+#include "core/clause_share.hpp"
+
+#include <list>
+#include <map>
+#include <mutex>
+#include <utility>
+
+namespace gpumc::core {
+
+namespace {
+
+/** Retained stores; beyond this the least-recently-requested drops. */
+constexpr size_t kMaxStores = 64;
+
+struct Registry {
+    std::mutex mutex;
+    /** Most-recently-requested first. */
+    std::list<std::pair<SessionKey, std::shared_ptr<smt::sat::ClauseStore>>>
+        entries;
+};
+
+Registry &
+registry()
+{
+    static Registry instance;
+    return instance;
+}
+
+} // namespace
+
+std::shared_ptr<smt::sat::ClauseStore>
+sharedClauseStore(const SessionKey &key)
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    for (auto it = reg.entries.begin(); it != reg.entries.end(); ++it) {
+        if (it->first == key) {
+            reg.entries.splice(reg.entries.begin(), reg.entries, it);
+            return reg.entries.front().second;
+        }
+    }
+    auto store = std::make_shared<smt::sat::ClauseStore>();
+    reg.entries.emplace_front(key, store);
+    if (reg.entries.size() > kMaxStores)
+        reg.entries.pop_back();
+    return store;
+}
+
+size_t
+sharedClauseStoreCount()
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    return reg.entries.size();
+}
+
+void
+clearSharedClauseStores()
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    reg.entries.clear();
+}
+
+} // namespace gpumc::core

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Process-wide registry of session-scope learned-clause stores.
+ *
+ * Verifiers whose (program, model, options) agree on a core::SessionKey
+ * build identical structural encodings, so clauses learned over the
+ * structural variable prefix of one session are valid in every other —
+ * assumption-guarded sibling queries, same-fingerprint batch jobs,
+ * serve-pool session rebuilds. sharedClauseStore() hands all of them
+ * the same sat::ClauseStore; the Verifier attaches it with the
+ * structural watermark (backend->numVars() right after the common
+ * encoding), which keeps activation literals and property gates from
+ * ever travelling between sessions (see docs/DESIGN.md, "Clause
+ * sharing").
+ *
+ * The registry is a small LRU: stores for keys not requested recently
+ * are dropped (with their clauses) once the cap is exceeded. Losing a
+ * store only costs warm-up — a later request for the same key simply
+ * starts an empty one.
+ */
+
+#ifndef GPUMC_CORE_CLAUSE_SHARE_HPP
+#define GPUMC_CORE_CLAUSE_SHARE_HPP
+
+#include <memory>
+
+#include "core/session_key.hpp"
+#include "smt/sat/clause_store.hpp"
+
+namespace gpumc::core {
+
+/**
+ * The process-wide clause store for sessions keyed by @p key, created
+ * on first request. Thread-safe; the returned store outlives the
+ * registry entry (shared ownership), so eviction never invalidates a
+ * live attachment.
+ */
+std::shared_ptr<smt::sat::ClauseStore>
+sharedClauseStore(const SessionKey &key);
+
+/** Stores currently retained by the registry (for tests/metrics). */
+size_t sharedClauseStoreCount();
+
+/** Drop every retained store (test isolation; live refs stay valid). */
+void clearSharedClauseStores();
+
+} // namespace gpumc::core
+
+#endif // GPUMC_CORE_CLAUSE_SHARE_HPP

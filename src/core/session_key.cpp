@@ -24,7 +24,8 @@ sessionKey(const prog::Program &program, const cat::CatModel &model,
             options.validateWitness,
             options.wantWitness,
             options.solverTimeoutMs,
-            options.cubeDepth};
+            options.cubeDepth,
+            static_cast<int>(options.clauseShare)};
 }
 
 } // namespace gpumc::core

@@ -34,7 +34,8 @@ using SessionKey = std::tuple<uint64_t, uint64_t, // program fingerprint
                               bool, bool,         // encoder ablations
                               bool, bool,         // witness handling
                               int64_t,            // solver budget
-                              int>;               // cube depth
+                              int,                // cube depth
+                              int>;               // clause-share mode
 
 /** Key under which (program, model, options) may share a session. */
 SessionKey sessionKey(const prog::Program &program,

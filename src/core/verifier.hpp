@@ -67,6 +67,16 @@ struct VerifierOptions {
      * through the shared thread budget. 0 = disabled.
      */
     int cubeDepth = 0;
+    /**
+     * Learned-clause sharing scope for the builtin CDCL solver (see
+     * smt::ClauseShareMode). `Cube` shares between the main solver and
+     * cube workers of one backend; `Session` shares across all
+     * verifiers with an equal core::SessionKey through a process-wide
+     * store, watermarked to the shared structural encoding; `On` is
+     * both. Off by default: sharing never changes verdicts, but it
+     * makes witnesses and solver statistics timing-dependent.
+     */
+    smt::ClauseShareMode clauseShare = smt::ClauseShareMode::Off;
 };
 
 struct VerificationResult {

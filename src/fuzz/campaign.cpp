@@ -218,6 +218,21 @@ runCampaign(const CampaignOptions &options)
         });
     }
 
+    // Phase 4d: the clause-sharing differential, likewise
+    // self-contained per case (sharing-on checkAll() vs the
+    // sharing-off baseline on the builtin backend); sharing makes
+    // search timing-dependent, which is exactly what the oracle must
+    // show never reaches the verdicts.
+    std::vector<OracleOutcome> sharingOutcomes(
+        static_cast<size_t>(runs));
+    if (oracle.clauseSharing) {
+        parallelFor(runs, options.jobs, [&](int64_t i) {
+            const size_t n = static_cast<size_t>(i);
+            sharingOutcomes[n] =
+                clauseSharingOracle(programs[n], model, oracle);
+        });
+    }
+
     // Phase 5: compare, sequentially in input order.
     std::vector<size_t> disagreeing;
     for (int i = 0; i < runs; ++i) {
@@ -247,6 +262,8 @@ runCampaign(const CampaignOptions &options)
             report.outcomes.push_back(reuseOutcomes[n]);
         if (oracle.portfolioVsSingle)
             report.outcomes.push_back(portfolioOutcomes[n]);
+        if (oracle.clauseSharing)
+            report.outcomes.push_back(sharingOutcomes[n]);
         for (const OracleOutcome &o : report.outcomes) {
             result.oracleChecks++;
             switch (o.verdict) {
@@ -346,6 +363,16 @@ runCampaign(const CampaignOptions &options)
                         reproCommand(fileName, options.modelName,
                                      "builtin", oracle.bound + 1) +
                         "\n";
+            } else if (kind == OracleKind::ClauseSharing) {
+                text += "// reproduce: " +
+                        reproCommand(fileName, options.modelName,
+                                     "builtin", oracle.bound) +
+                        " --all-properties --clause-share=off\n";
+                text += "//       vs: " +
+                        reproCommand(fileName, options.modelName,
+                                     "builtin", oracle.bound) +
+                        " --all-properties --clause-share=on "
+                        "--cube-depth=2\n";
             } else {
                 text += "// reproduce: " +
                         reproCommand(fileName, options.modelName,

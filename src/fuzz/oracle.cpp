@@ -16,6 +16,7 @@ oracleName(OracleKind kind)
       case OracleKind::BoundMono: return "bound-mono";
       case OracleKind::SessionReuse: return "session-reuse";
       case OracleKind::PortfolioVsSingle: return "portfolio-vs-single";
+      case OracleKind::ClauseSharing: return "clause-sharing";
     }
     return "?";
 }
@@ -77,6 +78,7 @@ OracleOptions::only(OracleKind kind) const
     out.boundMono = kind == OracleKind::BoundMono;
     out.sessionReuse = kind == OracleKind::SessionReuse;
     out.portfolioVsSingle = kind == OracleKind::PortfolioVsSingle;
+    out.clauseSharing = kind == OracleKind::ClauseSharing;
     return out;
 }
 
@@ -257,6 +259,78 @@ portfolioVsSingleOracle(const prog::Program &program,
                            single.name + "=" + describe(alone[i]);
                 return o;
             }
+        }
+    }
+    return o;
+}
+
+/**
+ * Sharing-on vs sharing-off differential on the builtin backend:
+ * imported clauses are logical consequences of the shared database, so
+ * the verdicts must be bit-identical even though search paths (and
+ * witnesses) differ. Cube depth 2 keeps the cube-scope path exercised;
+ * session scope exercises the process-wide store and the activation-
+ * literal watermark.
+ */
+OracleOutcome
+clauseSharingOracle(const prog::Program &program,
+                    const cat::CatModel &model,
+                    const OracleOptions &options)
+{
+    OracleOutcome o;
+    o.kind = OracleKind::ClauseSharing;
+
+    const core::Property props[] = {core::Property::Safety,
+                                    core::Property::Liveness,
+                                    core::Property::CatSpec};
+    const char *propNames[] = {"safety", "liveness", "catspec"};
+    auto describe = [](const core::VerificationResult &r) {
+        if (r.unknown)
+            return std::string("unknown");
+        return std::string(r.holds ? "holds" : "fails");
+    };
+
+    auto checkAllWith =
+        [&](smt::ClauseShareMode mode,
+            const char *who) -> std::vector<core::VerificationResult> {
+        core::VerifierOptions vo;
+        vo.backend = smt::BackendKind::Builtin;
+        vo.bound = options.bound;
+        vo.validateWitness = true;
+        vo.solverTimeoutMs = options.solverTimeoutMs;
+        vo.clauseShare = mode;
+        if (mode != smt::ClauseShareMode::Off)
+            vo.cubeDepth = 2; // exercise the cube-scope path too
+        try {
+            core::Verifier verifier(program, model, vo);
+            return verifier.checkAll({props[0], props[1], props[2]});
+        } catch (const FatalError &error) {
+            o.verdict = OracleVerdict::Skipped;
+            o.detail = std::string(who) + " error: " + error.what();
+        } catch (const std::exception &error) {
+            o.verdict = OracleVerdict::Skipped;
+            o.detail = std::string(who) + " error: " + error.what();
+        }
+        return {};
+    };
+
+    std::vector<core::VerificationResult> off =
+        checkAllWith(smt::ClauseShareMode::Off, "sharing-off");
+    if (o.verdict != OracleVerdict::Agree || off.empty())
+        return o;
+    std::vector<core::VerificationResult> on =
+        checkAllWith(smt::ClauseShareMode::On, "sharing-on");
+    if (o.verdict != OracleVerdict::Agree || on.empty())
+        return o;
+
+    for (size_t i = 0; i < off.size(); ++i) {
+        if (off[i].holds != on[i].holds ||
+            off[i].unknown != on[i].unknown) {
+            o.verdict = OracleVerdict::Disagree;
+            o.detail = std::string(propNames[i]) +
+                       ": sharing-off=" + describe(off[i]) +
+                       " sharing-on=" + describe(on[i]);
+            return o;
         }
     }
     return o;
@@ -453,6 +527,10 @@ runOracles(const prog::Program &program, const cat::CatModel &model,
     if (options.portfolioVsSingle) {
         report.outcomes.push_back(
             portfolioVsSingleOracle(program, model, options));
+    }
+    if (options.clauseSharing) {
+        report.outcomes.push_back(
+            clauseSharingOracle(program, model, options));
     }
     return report;
 }

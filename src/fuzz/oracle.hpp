@@ -19,6 +19,10 @@
  *  - portfolio-vs-single: the racing portfolio backend must agree
  *                     verdict-for-verdict with the builtin and Z3
  *                     backends run alone, whichever lane wins the race
+ *  - clause-sharing:  the builtin backend with learned-clause sharing
+ *                     fully on must agree on holds/unknown with the
+ *                     sharing-off baseline — imported clauses must
+ *                     never flip a verdict
  *
  * The harness can run self-contained (runOracles, used by the shrinker
  * and the tests) or compare results produced elsewhere (compareOracles,
@@ -45,7 +49,8 @@ enum class OracleKind {
     Z3VsBuiltin,
     BoundMono,
     SessionReuse,
-    PortfolioVsSingle
+    PortfolioVsSingle,
+    ClauseSharing
 };
 
 const char *oracleName(OracleKind kind);
@@ -99,6 +104,12 @@ struct OracleOptions {
      * every property on three backends.
      */
     bool portfolioVsSingle = false;
+    /**
+     * Sharing-on vs sharing-off differential on the builtin backend
+     * (self-contained in runOracles, like portfolioVsSingle). Off by
+     * default: it re-verifies every property twice.
+     */
+    bool clauseSharing = false;
 
     uint64_t explicitMaxCandidates = 50000;
     double explicitTimeoutMs = 3000;
@@ -181,6 +192,20 @@ OracleOutcome sessionReuseOracle(const prog::Program &program,
 OracleOutcome portfolioVsSingleOracle(const prog::Program &program,
                                       const cat::CatModel &model,
                                       const OracleOptions &options);
+
+/**
+ * Run just the clause-sharing differential (self-contained): a
+ * checkAll() on the builtin backend with clause sharing fully on
+ * (cube + session scope, cube depth 2 so the cube path runs) must
+ * agree on holds/unknown, property for property, with the sharing-off
+ * baseline. Detail strings are not compared: sharing legally changes
+ * which witness the solver finds. Used by runOracles when
+ * `options.clauseSharing` is set and by the campaign driver, which
+ * fans it across workers itself.
+ */
+OracleOutcome clauseSharingOracle(const prog::Program &program,
+                                  const cat::CatModel &model,
+                                  const OracleOptions &options);
 
 /** Run every enabled engine sequentially and cross-check. */
 OracleReport runOracles(const prog::Program &program,

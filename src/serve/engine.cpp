@@ -49,9 +49,18 @@ Engine::Engine(EngineOptions options)
       executor_(std::make_unique<Executor>(
           options_.jobs, options_.maxQueued, "serve-worker"))
 {
+    if (!options_.cacheFile.empty())
+        resultCache_.loadFromFile(options_.cacheFile);
 }
 
-Engine::~Engine() = default;
+Engine::~Engine()
+{
+    // Join the workers first: a verify still in flight during shutdown
+    // must land in the cache before the snapshot is written.
+    executor_.reset();
+    if (!options_.cacheFile.empty())
+        resultCache_.saveToFile(options_.cacheFile);
+}
 
 void
 Engine::drain()
@@ -195,6 +204,7 @@ Engine::handleVerify(Request req, const Respond &respond)
     core::VerifierOptions vopts;
     vopts.backend = req.backend;
     vopts.bound = req.bound;
+    vopts.clauseShare = options_.clauseShare;
     // The server never extracts witnesses: responses carry verdicts,
     // and witness objects would make cached and fresh results differ.
     vopts.wantWitness = false;

@@ -1,6 +1,91 @@
 #include "serve/result_cache.hpp"
 
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <tuple>
+#include <type_traits>
+
+#include "support/json.hpp"
+
 namespace gpumc::serve {
+
+namespace {
+
+/** Bumped whenever the entry layout changes. */
+constexpr int kCacheFileVersion = 1;
+constexpr size_t kKeyFields = std::tuple_size_v<core::SessionKey>;
+
+std::string
+encodeKey(const core::SessionKey &key)
+{
+    std::string out = "[";
+    bool first = true;
+    std::apply(
+        [&](const auto &...field) {
+            auto one = [&](const auto &f) {
+                if (!first)
+                    out += ",";
+                first = false;
+                using T = std::decay_t<decltype(f)>;
+                if constexpr (std::is_same_v<T, bool>)
+                    out += f ? "true" : "false";
+                else
+                    out += "\"" + std::to_string(f) + "\"";
+            };
+            (one(field), ...);
+        },
+        key);
+    out += "]";
+    return out;
+}
+
+bool
+decodeKey(const JsonValue &array, core::SessionKey &key)
+{
+    if (array.kind != JsonValue::Kind::Array ||
+        array.items.size() != kKeyFields)
+        return false;
+    bool ok = true;
+    size_t index = 0;
+    std::apply(
+        [&](auto &...field) {
+            auto one = [&](auto &f) {
+                const JsonValue &v = array.items[index++];
+                using T = std::decay_t<decltype(f)>;
+                if constexpr (std::is_same_v<T, bool>) {
+                    if (!v.isBool()) {
+                        ok = false;
+                        return;
+                    }
+                    f = v.boolean;
+                } else {
+                    if (!v.isString() || v.text.empty()) {
+                        ok = false;
+                        return;
+                    }
+                    errno = 0;
+                    char *end = nullptr;
+                    if constexpr (std::is_unsigned_v<T>) {
+                        f = static_cast<T>(
+                            std::strtoull(v.text.c_str(), &end, 10));
+                    } else {
+                        f = static_cast<T>(
+                            std::strtoll(v.text.c_str(), &end, 10));
+                    }
+                    if (end == v.text.c_str() || *end != '\0' ||
+                        errno != 0)
+                        ok = false;
+                }
+            };
+            (one(field), ...);
+        },
+        key);
+    return ok;
+}
+
+} // namespace
 
 std::optional<CachedResult>
 ResultCache::lookup(const ResultKey &key)
@@ -35,6 +120,86 @@ ResultCache::insert(const ResultKey &key, CachedResult value)
         lru_.pop_back();
         evictions_++;
     }
+}
+
+bool
+ResultCache::saveToFile(const std::string &path) const
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        return false;
+    out << "{\"gpumc_result_cache\":" << kCacheFileVersion
+        << ",\"key_fields\":" << kKeyFields << "}\n";
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Back (LRU) to front (MRU): reloading in file order re-inserts
+    // the most recent entry last, restoring the eviction order.
+    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+        char solveMs[32];
+        std::snprintf(solveMs, sizeof solveMs, "%.3f",
+                      it->second.solveMs);
+        out << "{\"key\":" << encodeKey(it->first.first)
+            << ",\"property\":" << it->first.second
+            << ",\"holds\":" << (it->second.holds ? "true" : "false")
+            << ",\"detail\":" << jsonString(it->second.detail)
+            << ",\"solve_ms\":" << solveMs << "}\n";
+    }
+    out.flush();
+    return static_cast<bool>(out);
+}
+
+bool
+ResultCache::loadFromFile(const std::string &path)
+{
+    auto startCold = [this] {
+        std::lock_guard<std::mutex> lock(mutex_);
+        lru_.clear();
+        index_.clear();
+        hits_ = misses_ = evictions_ = 0;
+        return false;
+    };
+
+    std::ifstream in(path);
+    if (!in)
+        return startCold();
+    std::string line;
+    if (!std::getline(in, line))
+        return startCold();
+    std::string error;
+    JsonValue header = parseJson(line, error);
+    const JsonValue *version = header.find("gpumc_result_cache");
+    const JsonValue *fields = header.find("key_fields");
+    if (!error.empty() || !version || !fields ||
+        version->asInt() != kCacheFileVersion ||
+        fields->asInt() != static_cast<int64_t>(kKeyFields))
+        return startCold();
+
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        JsonValue entry = parseJson(line, error);
+        const JsonValue *keyField = entry.find("key");
+        const JsonValue *property = entry.find("property");
+        const JsonValue *holds = entry.find("holds");
+        const JsonValue *detail = entry.find("detail");
+        const JsonValue *solveMs = entry.find("solve_ms");
+        ResultKey key;
+        if (!error.empty() || !keyField || !property || !holds ||
+            !detail || !solveMs || !property->isNumber() ||
+            !holds->isBool() || !detail->isString() ||
+            !solveMs->isNumber() || !decodeKey(*keyField, key.first))
+            return startCold();
+        key.second = static_cast<int>(property->asInt());
+        CachedResult value;
+        value.holds = holds->boolean;
+        value.detail = detail->text;
+        value.solveMs = solveMs->number;
+        insert(key, std::move(value));
+    }
+
+    // The load is warm-up, not traffic: metrics start at zero.
+    std::lock_guard<std::mutex> lock(mutex_);
+    hits_ = misses_ = evictions_ = 0;
+    return true;
 }
 
 ResultCache::Counters

@@ -57,6 +57,27 @@ class ResultCache {
     };
     Counters counters() const;
 
+    /**
+     * Persist every entry to @p path as JSON lines: a version header
+     * (format version + session-key arity, so a file written by a
+     * gpumc whose key layout has since changed is never misread) and
+     * one entry per line, least-recently-used first — reloading in
+     * file order restores the LRU order exactly. The 64-bit
+     * fingerprints travel as decimal strings: JSON numbers are doubles
+     * and would corrupt them above 2^53. Returns false when the file
+     * cannot be written.
+     */
+    bool saveToFile(const std::string &path) const;
+
+    /**
+     * Load entries previously written by saveToFile. Any problem —
+     * missing file, unreadable line, version or key-arity mismatch —
+     * falls back to an *empty* cache and returns false: a persisted
+     * cache is an optimization, never worth refusing to start over.
+     * Counters are reset, so metrics describe this process's traffic.
+     */
+    bool loadFromFile(const std::string &path);
+
   private:
     using Entry = std::pair<ResultKey, CachedResult>;
 

@@ -21,6 +21,38 @@ backendKindName(BackendKind kind)
     }
 }
 
+const char *
+clauseShareModeName(ClauseShareMode mode)
+{
+    switch (mode) {
+      case ClauseShareMode::Off:
+        return "off";
+      case ClauseShareMode::Cube:
+        return "cube";
+      case ClauseShareMode::Session:
+        return "session";
+      default:
+        return "on";
+    }
+}
+
+bool
+parseClauseShareMode(const std::string &text, ClauseShareMode &out)
+{
+    if (text == "off") {
+        out = ClauseShareMode::Off;
+    } else if (text == "cube") {
+        out = ClauseShareMode::Cube;
+    } else if (text == "session") {
+        out = ClauseShareMode::Session;
+    } else if (text == "on") {
+        out = ClauseShareMode::On;
+    } else {
+        return false;
+    }
+    return true;
+}
+
 std::unique_ptr<Backend>
 makeBackend(BackendKind kind, const BackendConfig &config)
 {

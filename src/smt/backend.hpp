@@ -22,6 +22,10 @@
 
 namespace gpumc::smt {
 
+namespace sat {
+class ClauseStore;
+} // namespace sat
+
 /**
  * Backend-neutral literal: a non-zero integer; negative values are the
  * negation of the corresponding positive literal (DIMACS convention).
@@ -98,6 +102,21 @@ class Backend {
     virtual std::string name() const = 0;
 
     /**
+     * Attach a shared learned-clause store for cross-session sharing
+     * (see sat::ClauseStore). @p varLimit is the sharing watermark:
+     * only clauses whose variables were all allocated before it are
+     * exported — variables above it (activation literals, property
+     * gates) mean different things in other sessions. Backends without
+     * a native CDCL solver ignore the attachment (default no-op); the
+     * portfolio backend forwards it to its builtin lane.
+     */
+    virtual void
+    attachClauseStore(std::shared_ptr<sat::ClauseStore> /*store*/,
+                      int64_t /*varLimit*/)
+    {
+    }
+
+    /**
      * Search statistics accumulated by solve() calls so far, as
      * backend-defined named counters. Both shipped backends report at
      * least `solveCalls`; the builtin CDCL solver additionally reports
@@ -117,6 +136,44 @@ enum class BackendKind { Z3, Builtin, Portfolio };
 /** Stable lower-case name for CLI flags and test parameter labels. */
 const char *backendKindName(BackendKind kind);
 
+/**
+ * Learned-clause sharing scopes for the builtin CDCL solver (also the
+ * builtin lane of the portfolio backend):
+ *  - Off:     today's behaviour, bit for bit. The default — sharing
+ *             keeps verdicts identical but makes the search path (and
+ *             therefore witnesses and solver statistics) depend on
+ *             thread timing, which strict-determinism callers (the
+ *             fuzz campaign log) cannot accept.
+ *  - Cube:    share between the main solver and the cube-and-conquer
+ *             workers of one backend, across rounds and queries. Also
+ *             covers the portfolio's budget-starved sequential
+ *             fallback, which solves on the same (persistent) lane.
+ *  - Session: share across sessions with equal core::SessionKey —
+ *             assumption-guarded sibling queries, same-fingerprint
+ *             batch jobs, serve-pool rebuilds — through a process-wide
+ *             store, restricted to the structural variable watermark.
+ *  - On:      both scopes.
+ */
+enum class ClauseShareMode { Off, Cube, Session, On };
+
+/** Stable lower-case name ("off"/"cube"/"session"/"on"). */
+const char *clauseShareModeName(ClauseShareMode mode);
+
+/** Parse a --clause-share value; returns false on unknown text. */
+bool parseClauseShareMode(const std::string &text, ClauseShareMode &out);
+
+inline bool
+shareCubesEnabled(ClauseShareMode mode)
+{
+    return mode == ClauseShareMode::Cube || mode == ClauseShareMode::On;
+}
+
+inline bool
+shareSessionsEnabled(ClauseShareMode mode)
+{
+    return mode == ClauseShareMode::Session || mode == ClauseShareMode::On;
+}
+
 /** Construction-time knobs that are not part of the query interface. */
 struct BackendConfig {
     /**
@@ -126,6 +183,16 @@ struct BackendConfig {
      * the shared thread budget. 0 (default) disables cubing.
      */
     int cubeDepth = 0;
+    /**
+     * Cube-scope clause sharing: the main solver and every cube worker
+     * publish learned clauses to one per-backend store and import each
+     * other's at restart boundaries (identical clause databases, so no
+     * variable watermark applies). Off by default.
+     */
+    bool shareCubes = false;
+    /** Export-filter thresholds for the cube-scope store. */
+    int shareMaxLbd = 8;
+    int shareMaxSize = 32;
 };
 
 /** Factory. */

@@ -8,6 +8,38 @@
 
 namespace gpumc::smt {
 
+BuiltinBackend::BuiltinBackend(const BackendConfig &config)
+    : cubeDepth_(config.cubeDepth)
+{
+    if (config.shareCubes) {
+        sat::ClauseStore::Config storeConfig;
+        storeConfig.maxLbd = config.shareMaxLbd;
+        storeConfig.maxSize = static_cast<size_t>(config.shareMaxSize);
+        cubeStore_ = std::make_shared<sat::ClauseStore>(storeConfig);
+        solver_.attachStore(cubeStore_);
+    }
+}
+
+void
+BuiltinBackend::attachClauseStore(std::shared_ptr<sat::ClauseStore> store,
+                                  int64_t varLimit)
+{
+    if (!store)
+        return;
+    sessionStore_ = std::move(store);
+    sessionVarLimit_ = static_cast<sat::Var>(varLimit);
+    solver_.attachStore(sessionStore_, sessionVarLimit_);
+}
+
+void
+BuiltinBackend::attachStores(sat::Solver &solver) const
+{
+    if (cubeStore_)
+        solver.attachStore(cubeStore_);
+    if (sessionStore_)
+        solver.attachStore(sessionStore_, sessionVarLimit_);
+}
+
 Lit
 BuiltinBackend::newVar()
 {
@@ -151,6 +183,9 @@ BuiltinBackend::solveCubes(const std::vector<sat::Lit> &assumps)
         auto solver = std::make_unique<sat::Solver>();
         for (int v = 0; v < varCount; ++v)
             solver->newVar();
+        // Attach before the clause replay: units learned by siblings
+        // can then already prune the replayed database at import time.
+        attachStores(*solver);
         bool consistent = true;
         for (const auto &clause : recorded_) {
             if (!solver->addClause(clause)) {
@@ -192,6 +227,10 @@ BuiltinBackend::solveCubes(const std::vector<sat::Lit> &assumps)
             cubeStats_.restarts += st.restarts;
             cubeStats_.learnedClauses += st.learnedClauses;
             cubeStats_.removedClauses += st.removedClauses;
+            const sat::ShareStats &sh = solver->shareStats();
+            cubeShareStats_.exported += sh.exported;
+            cubeShareStats_.imported += sh.imported;
+            cubeShareStats_.rejected += sh.rejected;
             cubeSolves_++;
         }
         if (status == sat::Solver::Status::Sat) {
@@ -248,6 +287,24 @@ BuiltinBackend::statistics() const
         out["cube.conflicts"] = count(cubeStats_.conflicts);
         out["cube.decisions"] = count(cubeStats_.decisions);
         out["cube.propagations"] = count(cubeStats_.propagations);
+    }
+    if (cubeStore_ || sessionStore_) {
+        sat::ShareStats share = solver_.shareStats();
+        {
+            std::lock_guard<std::mutex> lock(cubeMutex_);
+            share.exported += cubeShareStats_.exported;
+            share.imported += cubeShareStats_.imported;
+            share.rejected += cubeShareStats_.rejected;
+        }
+        out["share.exported"] = count(share.exported);
+        out["share.imported"] = count(share.imported);
+        out["share.rejected"] = count(share.rejected);
+        int64_t storeSize = 0;
+        if (cubeStore_)
+            storeSize += static_cast<int64_t>(cubeStore_->size());
+        if (sessionStore_)
+            storeSize += static_cast<int64_t>(sessionStore_->size());
+        out["share.storeSize"] = storeSize;
     }
     return out;
 }

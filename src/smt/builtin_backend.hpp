@@ -22,9 +22,7 @@ namespace gpumc::smt {
 
 class BuiltinBackend : public Backend {
   public:
-    explicit BuiltinBackend(const BackendConfig &config = {})
-        : cubeDepth_(config.cubeDepth)
-    {}
+    explicit BuiltinBackend(const BackendConfig &config = {});
 
     Lit newVar() override;
     void addClause(const std::vector<Lit> &clause) override;
@@ -43,6 +41,9 @@ class BuiltinBackend : public Backend {
     int64_t numClauses() const override { return numClauses_; }
     std::string name() const override { return "builtin-cdcl"; }
     std::map<std::string, int64_t> statistics() const override;
+
+    void attachClauseStore(std::shared_ptr<sat::ClauseStore> store,
+                           int64_t varLimit) override;
 
     const sat::SolverStats &stats() const { return solver_.stats(); }
 
@@ -74,6 +75,24 @@ class BuiltinBackend : public Backend {
     sat::SolverStats cubeStats_;
     int64_t cubeSolves_ = 0;
     int64_t cubeRounds_ = 0;
+
+    // --- learned-clause sharing (see sat/clause_store.hpp) -----------
+    /** Attach every store this backend holds to @p solver. */
+    void attachStores(sat::Solver &solver) const;
+    /**
+     * Cube-scope store (BackendConfig::shareCubes): main solver and
+     * cube workers publish/import with no variable watermark — their
+     * clause databases are identical by construction.
+     */
+    std::shared_ptr<sat::ClauseStore> cubeStore_;
+    /**
+     * Session-scope store handed in via attachClauseStore(), restricted
+     * to the caller's structural variable watermark.
+     */
+    std::shared_ptr<sat::ClauseStore> sessionStore_;
+    sat::Var sessionVarLimit_ = -1;
+    /** Share counters of finished cube solvers (under cubeMutex_). */
+    sat::ShareStats cubeShareStats_;
 };
 
 } // namespace gpumc::smt

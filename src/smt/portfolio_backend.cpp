@@ -177,6 +177,13 @@ PortfolioBackend::solve(const std::vector<Lit> &assumptions)
     return results[winner];
 }
 
+void
+PortfolioBackend::attachClauseStore(std::shared_ptr<sat::ClauseStore> store,
+                                    int64_t varLimit)
+{
+    builtin_->attachClauseStore(std::move(store), varLimit);
+}
+
 TruthValue
 PortfolioBackend::modelValue(Lit lit) const
 {
@@ -210,8 +217,15 @@ PortfolioBackend::statistics() const
     out["portfolio.winsZ3"] = winsZ3_;
     out["portfolio.interrupts"] =
         interruptsIssued_.load(std::memory_order_relaxed);
-    for (const auto &[key, value] : builtin_->statistics())
-        out["portfolio.builtin." + key] = value;
+    for (const auto &[key, value] : builtin_->statistics()) {
+        // share.* keys keep their canonical location (solver.share.* in
+        // verifier exports) — sharing happens on the builtin lane but
+        // describes a portfolio-wide resource.
+        if (key.rfind("share.", 0) == 0)
+            out[key] = value;
+        else
+            out["portfolio.builtin." + key] = value;
+    }
     for (const auto &[key, value] : z3_->statistics())
         out["portfolio.z3." + key] = value;
     return out;

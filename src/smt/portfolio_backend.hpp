@@ -60,6 +60,10 @@ class PortfolioBackend : public Backend {
     std::string name() const override { return "portfolio"; }
     std::map<std::string, int64_t> statistics() const override;
 
+    /** Forwarded to the builtin lane; Z3 has no clause-sharing hook. */
+    void attachClauseStore(std::shared_ptr<sat::ClauseStore> store,
+                           int64_t varLimit) override;
+
     /**
      * Test hook: delay each lane's solve by the given amount, forcing
      * a chosen winner regardless of relative solver speed. Applies to

@@ -1,0 +1,68 @@
+#include "smt/sat/clause_store.hpp"
+
+namespace gpumc::smt::sat {
+
+ClauseStore::ClauseStore() : ClauseStore(Config()) {}
+
+int
+ClauseStore::registerSource()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return nextSource_++;
+}
+
+void
+ClauseStore::publish(int source, const std::vector<Lit> &lits)
+{
+    if (config_.capacity == 0)
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.push_back(Entry{lits, source});
+    published_++;
+    if (entries_.size() > config_.capacity) {
+        entries_.pop_front();
+        begin_++;
+        evicted_++;
+    }
+}
+
+size_t
+ClauseStore::fetch(int source, uint64_t &cursor,
+                   std::vector<std::vector<Lit>> &out) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    // A cursor behind the eviction front skips the lost range: old
+    // clauses are gone, which only costs optimization opportunity.
+    if (cursor < begin_)
+        cursor = begin_;
+    size_t appended = 0;
+    const uint64_t end = begin_ + entries_.size();
+    for (uint64_t i = cursor; i < end; ++i) {
+        const Entry &entry = entries_[static_cast<size_t>(i - begin_)];
+        if (entry.source == source)
+            continue; // never re-import our own clauses
+        out.push_back(entry.lits);
+        appended++;
+    }
+    cursor = end;
+    return appended;
+}
+
+size_t
+ClauseStore::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+ClauseStore::Counters
+ClauseStore::counters() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Counters c;
+    c.published = published_;
+    c.evicted = evicted_;
+    return c;
+}
+
+} // namespace gpumc::smt::sat

@@ -400,6 +400,10 @@ Solver::search(int64_t conflictBudget, const std::vector<Lit> &assumptions,
             std::vector<Lit> learnt;
             int btLevel = 0;
             analyze(conflict, learnt, btLevel);
+            // Export before backtracking: computeLbd reads the trail
+            // levels of the conflict, which cancelUntil erases.
+            if (!stores_.empty())
+                exportLearnt(learnt);
             cancelUntil(btLevel);
             if (learnt.size() == 1) {
                 enqueue(learnt[0], nullptr);
@@ -499,6 +503,14 @@ Solver::solveLimited(const std::vector<Lit> &assumptions)
             deadline_ = Deadline(); // never leaks into addClause()
             return Status::Unknown;
         }
+        // Restart boundaries are the import points: the trail is at
+        // level 0, so foreign clauses can be re-validated against root
+        // assignments and attached with both watches unassigned.
+        if (!stores_.empty() && !importShared()) {
+            cancelUntil(0);
+            deadline_ = Deadline();
+            return Status::Unsat;
+        }
         int64_t budget = static_cast<int64_t>(luby(2.0, restarts) * 100);
         result = search(budget, assumptions, done);
         if (!done && !timedOut_) {
@@ -509,6 +521,138 @@ Solver::solveLimited(const std::vector<Lit> &assumptions)
     cancelUntil(0);
     deadline_ = Deadline();
     return result ? Status::Sat : Status::Unsat;
+}
+
+void
+Solver::attachStore(std::shared_ptr<ClauseStore> store, Var varLimit)
+{
+    GPUMC_ASSERT(store != nullptr, "attachStore without a store");
+    StoreAttachment att;
+    att.source = store->registerSource();
+    att.store = std::move(store);
+    att.varLimit = varLimit;
+    stores_.push_back(std::move(att));
+}
+
+int
+Solver::computeLbd(const std::vector<Lit> &lits) const
+{
+    // Literal block distance: distinct decision levels in the clause.
+    // Export candidates are small (the size filter runs first), so the
+    // quadratic distinct-count stays cheap.
+    int lbd = 0;
+    for (size_t i = 0; i < lits.size(); ++i) {
+        int li = level_[lits[i].var()];
+        bool dup = false;
+        for (size_t j = 0; j < i; ++j) {
+            if (level_[lits[j].var()] == li) {
+                dup = true;
+                break;
+            }
+        }
+        if (!dup)
+            lbd++;
+    }
+    return lbd;
+}
+
+void
+Solver::exportLearnt(const std::vector<Lit> &lits)
+{
+    int lbd = -1;
+    for (StoreAttachment &att : stores_) {
+        if (lits.size() > att.store->maxSize()) {
+            shareStats_.rejected++;
+            continue;
+        }
+        if (lbd < 0)
+            lbd = computeLbd(lits);
+        if (lbd > att.store->maxLbd()) {
+            shareStats_.rejected++;
+            continue;
+        }
+        if (att.varLimit >= 0) {
+            // The sharing watermark: clauses over variables allocated
+            // after the shared structural prefix (activation literals,
+            // property gates) are meaningless — and unsound — in other
+            // sessions, so they never leave this solver.
+            bool outOfRange = false;
+            for (Lit l : lits) {
+                if (l.var() >= att.varLimit) {
+                    outOfRange = true;
+                    break;
+                }
+            }
+            if (outOfRange) {
+                shareStats_.rejected++;
+                continue;
+            }
+        }
+        att.store->publish(att.source, lits);
+        shareStats_.exported++;
+    }
+}
+
+bool
+Solver::importShared()
+{
+    GPUMC_ASSERT(decisionLevel() == 0,
+                 "clause import outside a restart boundary");
+    std::vector<Lit> pruned;
+    for (StoreAttachment &att : stores_) {
+        importBuf_.clear();
+        att.store->fetch(att.source, att.cursor, importBuf_);
+        for (const std::vector<Lit> &lits : importBuf_) {
+            // Re-validate against the importing solver's root trail.
+            bool drop = false;
+            pruned.clear();
+            for (Lit l : lits) {
+                if (l.var() < 0 || l.var() >= numVars()) {
+                    drop = true; // publisher knew more variables
+                    break;
+                }
+                LBool v = value(l);
+                if (v == LBool::True) {
+                    drop = true; // root-satisfied: nothing to learn
+                    break;
+                }
+                if (v == LBool::Undef)
+                    pruned.push_back(l);
+                // Root-false literals are dropped: the remainder is
+                // still implied (the clause minus literals false at
+                // level 0 of a shared database).
+            }
+            if (drop) {
+                shareStats_.rejected++;
+                continue;
+            }
+            if (pruned.empty()) {
+                // Every literal is root-false: the shared database is
+                // unsatisfiable at the root.
+                ok_ = false;
+                shareStats_.imported++;
+                return false;
+            }
+            if (pruned.size() == 1) {
+                shareStats_.imported++;
+                if (!enqueue(pruned[0], nullptr) ||
+                    propagate() != nullptr) {
+                    ok_ = false;
+                    return false;
+                }
+                continue;
+            }
+            auto clause = std::make_unique<Clause>();
+            clause->learnt = true;
+            clause->lits = pruned;
+            // A fresh import deserves a fighting chance in reduceDB.
+            claBumpActivity(clause.get());
+            attachClause(clause.get());
+            learnts_.push_back(std::move(clause));
+            shareStats_.imported++;
+        }
+    }
+    return ok_;
 }
 
 std::vector<Var>

@@ -19,6 +19,7 @@
 #include <memory>
 #include <vector>
 
+#include "smt/sat/clause_store.hpp"
 #include "smt/sat/types.hpp"
 #include "support/stats.hpp"
 
@@ -32,6 +33,18 @@ struct SolverStats {
     uint64_t restarts = 0;
     uint64_t learnedClauses = 0;
     uint64_t removedClauses = 0;
+};
+
+/** Clause-sharing statistics of one solver (see attachStore). */
+struct ShareStats {
+    /** Clauses published to attached stores. */
+    uint64_t exported = 0;
+    /** Foreign clauses attached (or enqueued as units) after import
+     *  re-validation. */
+    uint64_t imported = 0;
+    /** Clauses dropped by the export filter (LBD/size/var-watermark)
+     *  or by import re-validation (unknown variable, root-satisfied). */
+    uint64_t rejected = 0;
 };
 
 class Solver {
@@ -98,6 +111,30 @@ class Solver {
      */
     std::vector<Var> topActivityVars(int n) const;
 
+    /**
+     * Attach a shared clause store. Learned clauses passing the
+     * store's export filter (LBD and size thresholds) are published;
+     * foreign clauses are imported at restart boundaries, re-validated
+     * against the root-level trail (root-satisfied clauses are
+     * skipped, root-false literals dropped, units enqueued, an empty
+     * remainder is a root conflict).
+     *
+     * @p varLimit is the sharing watermark: when >= 0, only clauses
+     * whose variables are all < varLimit are exported. Callers sharing
+     * across solvers with *identical* clause databases (cube workers)
+     * pass -1; callers sharing across sessions that only agree on a
+     * structural prefix must pass the variable count of that prefix,
+     * so clauses over later vars (activation literals, property gates
+     * — which mean different things per session) never travel.
+     *
+     * Multiple stores may be attached; each keeps its own cursor.
+     * Sharing never changes verdicts, but does make the search path —
+     * and therefore witnesses and statistics — dependent on timing.
+     */
+    void attachStore(std::shared_ptr<ClauseStore> store, Var varLimit = -1);
+
+    const ShareStats &shareStats() const { return shareStats_; }
+
     /** Value of a literal in the last model (solve() returned true). */
     LBool modelValue(Lit l) const;
 
@@ -145,6 +182,13 @@ class Solver {
     void reduceDB();
     bool search(int64_t conflictBudget, const std::vector<Lit> &assumptions,
                 bool &doneOut);
+
+    // --- clause sharing -------------------------------------------------
+    int computeLbd(const std::vector<Lit> &lits) const;
+    void exportLearnt(const std::vector<Lit> &lits);
+    /** Import foreign clauses at a restart boundary (level 0).
+     *  Returns false on a root-level conflict (ok_ already false). */
+    bool importShared();
 
     // --- heap for VSIDS ------------------------------------------------
     void heapInsert(Var v);
@@ -196,6 +240,18 @@ class Solver {
     bool timedOut_ = false;
     /** Cross-thread cancellation request; see interrupt(). */
     std::atomic<bool> interrupted_{false};
+
+    /** One shared-store attachment; see attachStore(). */
+    struct StoreAttachment {
+        std::shared_ptr<ClauseStore> store;
+        int source = -1;
+        Var varLimit = -1; // exported vars must be < this; -1 = any
+        uint64_t cursor = 0;
+    };
+    std::vector<StoreAttachment> stores_;
+    /** Scratch buffer for fetch() batches (kept to reuse capacity). */
+    std::vector<std::vector<Lit>> importBuf_;
+    ShareStats shareStats_;
 
     SolverStats stats_;
 };

@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <fstream>
 #include <new>
 #include <sstream>
@@ -32,7 +33,7 @@ keyOf(uint64_t seed)
     return core::SessionKey{seed,  seed + 1, seed + 2, seed + 3,
                             0,     2,        8,        true,
                             false, false,    false,    0,
-                            0};
+                            0,     0};
 }
 
 std::string
@@ -92,6 +93,97 @@ TEST(ResultCache, ZeroCapacityDisables)
     serve::ResultCache cache(0);
     cache.insert({keyOf(1), 0}, {});
     EXPECT_FALSE(cache.lookup({keyOf(1), 0}).has_value());
+}
+
+TEST(ResultCache, SaveAndLoadRoundTripPreservesLruOrder)
+{
+    const std::string path =
+        ::testing::TempDir() + "gpumc_result_cache_roundtrip.jsonl";
+    std::remove(path.c_str());
+
+    serve::ResultCache cache(3);
+    // Fingerprints above 2^53 prove the decimal-string encoding: as
+    // JSON numbers (doubles) they would come back corrupted.
+    serve::ResultKey a{keyOf((uint64_t{1} << 62) + 7), 0};
+    serve::ResultKey b{keyOf(20), 1};
+    serve::ResultKey c{keyOf(30), 2};
+    serve::CachedResult value;
+    value.holds = true;
+    value.detail = "condition \"quoted\" reachable";
+    value.solveMs = 12.5;
+    cache.insert(a, value);
+    value.holds = false;
+    value.detail = "liveness";
+    cache.insert(b, value);
+    value.detail = "catspec";
+    cache.insert(c, value);
+    cache.lookup(a); // refresh: LRU order is now b, c, a
+    ASSERT_TRUE(cache.saveToFile(path));
+
+    serve::ResultCache reloaded(3);
+    ASSERT_TRUE(reloaded.loadFromFile(path));
+    EXPECT_EQ(reloaded.counters().size, 3);
+    // Loading resets traffic counters: metrics describe this process.
+    EXPECT_EQ(reloaded.counters().hits, 0);
+    EXPECT_EQ(reloaded.counters().misses, 0);
+
+    std::optional<serve::CachedResult> hit = reloaded.lookup(a);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_TRUE(hit->holds);
+    EXPECT_EQ(hit->detail, "condition \"quoted\" reachable");
+    EXPECT_DOUBLE_EQ(hit->solveMs, 12.5);
+    ASSERT_TRUE(reloaded.lookup(c).has_value());
+    EXPECT_EQ(reloaded.lookup(b)->detail, "liveness");
+
+    // The reload restored the LRU *order*, not just the entries: after
+    // the same refresh pattern (a, c, b touched above), inserting a
+    // fourth entry evicts a — the least recently used.
+    reloaded.insert({keyOf(40), 0}, serve::CachedResult{});
+    EXPECT_FALSE(reloaded.lookup(a).has_value());
+    EXPECT_TRUE(reloaded.lookup(b).has_value());
+    EXPECT_TRUE(reloaded.lookup(c).has_value());
+    std::remove(path.c_str());
+}
+
+TEST(ResultCache, LoadFallsBackColdOnBadFiles)
+{
+    const std::string path =
+        ::testing::TempDir() + "gpumc_result_cache_bad.jsonl";
+
+    // Missing file: cold start, no error escalation.
+    std::remove(path.c_str());
+    serve::ResultCache cache(4);
+    EXPECT_FALSE(cache.loadFromFile(path));
+    EXPECT_EQ(cache.counters().size, 0);
+
+    // Garbage content.
+    {
+        std::ofstream out(path);
+        out << "this is not a cache file\n";
+    }
+    EXPECT_FALSE(cache.loadFromFile(path));
+    EXPECT_EQ(cache.counters().size, 0);
+
+    // Valid header, wrong key arity (a future gpumc's file): cold.
+    {
+        std::ofstream out(path);
+        out << "{\"gpumc_result_cache\":1,\"key_fields\":99}\n";
+    }
+    EXPECT_FALSE(cache.loadFromFile(path));
+    EXPECT_EQ(cache.counters().size, 0);
+
+    // A corrupt entry after valid ones: the whole load starts cold —
+    // no partially-trusted cache.
+    cache.insert({keyOf(1), 0}, serve::CachedResult{});
+    ASSERT_TRUE(cache.saveToFile(path));
+    {
+        std::ofstream out(path, std::ios::app);
+        out << "{\"key\":[\"broken\"]}\n";
+    }
+    serve::ResultCache partial(4);
+    EXPECT_FALSE(partial.loadFromFile(path));
+    EXPECT_EQ(partial.counters().size, 0);
+    std::remove(path.c_str());
 }
 
 TEST(SessionPool, CheckoutRemovesAndCheckinEvictsLru)
@@ -305,6 +397,60 @@ TEST(Engine, SecondIdenticalRequestHitsTheCache)
     EXPECT_EQ(bypassDoc.find("cache")->text, "miss");
     EXPECT_EQ(bypassDoc.find("detail")->text,
               coldDoc.find("detail")->text);
+}
+
+TEST(Engine, CacheFilePersistsVerdictsAcrossRestart)
+{
+    const std::string path =
+        ::testing::TempDir() + "gpumc_engine_cache.jsonl";
+    std::remove(path.c_str());
+    std::string source =
+        readFile(litmusPath("ptx/basic/sb-weak.litmus"));
+    serve::EngineOptions options = testEngineOptions();
+    options.cacheFile = path;
+
+    std::string cold;
+    {
+        serve::Engine engine(options);
+        cold = engine.handleSync(verifyLine(source));
+        // Engine destruction snapshots the result cache to cacheFile.
+    }
+
+    std::string error;
+    JsonValue coldDoc = parseJson(cold, error);
+    ASSERT_TRUE(error.empty());
+    ASSERT_EQ(coldDoc.find("status")->text, "ok") << cold;
+    EXPECT_EQ(coldDoc.find("cache")->text, "miss");
+
+    // A brand-new engine (a daemon restart) answers the identical
+    // request from the persisted cache, verdict byte-equal.
+    {
+        serve::Engine engine(options);
+        std::string warm = engine.handleSync(verifyLine(source));
+        JsonValue warmDoc = parseJson(warm, error);
+        ASSERT_TRUE(error.empty());
+        EXPECT_EQ(warmDoc.find("cache")->text, "hit");
+        EXPECT_EQ(warmDoc.find("holds")->boolean,
+                  coldDoc.find("holds")->boolean);
+        EXPECT_EQ(warmDoc.find("detail")->text,
+                  coldDoc.find("detail")->text);
+    }
+
+    // Corrupt the file: the next restart silently starts cold and
+    // still answers (a fresh miss), then rewrites a good snapshot.
+    {
+        std::ofstream out(path);
+        out << "{\"gpumc_result_cache\":999}\n";
+    }
+    {
+        serve::Engine engine(options);
+        std::string refilled = engine.handleSync(verifyLine(source));
+        JsonValue doc = parseJson(refilled, error);
+        ASSERT_TRUE(error.empty());
+        ASSERT_EQ(doc.find("status")->text, "ok") << refilled;
+        EXPECT_EQ(doc.find("cache")->text, "miss");
+    }
+    std::remove(path.c_str());
 }
 
 TEST(Engine, InlineModelSourceWorksAndDedups)

@@ -99,6 +99,9 @@ usage()
            "  --cube-depth=N  split builtin-solver queries into 2^N "
            "cubes\n"
            "                solved in parallel (default: 0, off)\n"
+           "  --clause-share=on|off|cube|session  learned-clause "
+           "sharing in\n"
+           "                the builtin CDCL solver (default: off)\n"
            "  --jobs=N      total thread budget shared by batch "
            "workers,\n"
            "                portfolio lanes and cube solvers (default: "
@@ -161,6 +164,10 @@ parseArgs(int argc, char **argv)
         } else if (startsWith(arg, "--cube-depth=")) {
             opts.verifier.cubeDepth = static_cast<int>(
                 cliInt("--cube-depth", arg.substr(13), 0, 16));
+        } else if (startsWith(arg, "--clause-share=")) {
+            if (!smt::parseClauseShareMode(arg.substr(15),
+                                           opts.verifier.clauseShare))
+                usage();
         } else if (arg == "--fresh-sessions") {
             opts.freshSessions = true;
         } else if (startsWith(arg, "--server=")) {

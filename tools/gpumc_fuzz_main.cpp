@@ -4,16 +4,18 @@
  * programs. Each case is cross-checked by four oracles (emit/reparse
  * round-trip, SMT vs the explicit-state enumerator, Z3 vs the built-in
  * solver, and bound monotonicity) plus, with --session-reuse, a fifth
- * comparing shared-session checkAll() against fresh sessions, and with
+ * comparing shared-session checkAll() against fresh sessions, with
  * --portfolio a sixth comparing the racing portfolio backend against
- * both single backends; disagreements are delta-debugged into minimal
+ * both single backends, and with --clause-sharing a seventh comparing
+ * the builtin backend with learned-clause sharing on against the
+ * sharing-off baseline; disagreements are delta-debugged into minimal
  * `.litmus` repro files.
  *
  *   gpumc-fuzz [--seed=N] [--runs=N] [--jobs=N] [--arch=ptx|vulkan|both]
  *              [--profile=basic|cf|full] [--bound=N] [--out-dir=DIR]
  *              [--inject=bound-gap] [--no-shrink] [--max-shrinks=N]
  *              [--timeout=MS] [--verify-determinism]
- *              [--session-reuse] [--portfolio]
+ *              [--session-reuse] [--portfolio] [--clause-sharing]
  *
  * The verdict log is deterministic for a fixed seed: identical across
  * runs and across --jobs values (SMT queries are fanned out through
@@ -55,6 +57,7 @@ struct CliOptions {
     bool injectBoundGap = false;
     bool sessionReuse = false;
     bool portfolio = false;
+    bool clauseSharing = false;
     bool shrink = true;
     int maxShrinks = 3;
     int shrinkAttempts = 400;
@@ -86,6 +89,9 @@ usage()
            "  --portfolio       also cross-check the racing portfolio\n"
            "                    backend's verdicts against both single\n"
            "                    backends\n"
+           "  --clause-sharing  also cross-check the builtin backend\n"
+           "                    with learned-clause sharing on against\n"
+           "                    the sharing-off baseline\n"
            "  --no-shrink       report disagreements without shrinking\n"
            "  --max-shrinks=N   disagreeing cases to shrink (default 3)\n"
            "  --shrink-attempts=N  predicate budget per shrink "
@@ -148,6 +154,8 @@ parseArgs(int argc, char **argv)
             opts.sessionReuse = true;
         } else if (arg == "--portfolio") {
             opts.portfolio = true;
+        } else if (arg == "--clause-sharing") {
+            opts.clauseSharing = true;
         } else if (arg == "--no-shrink") {
             opts.shrink = false;
         } else if (startsWith(arg, "--max-shrinks=")) {
@@ -208,6 +216,7 @@ campaignOptions(const CliOptions &opts, prog::Arch arch,
         co.oracle.z3Bound = opts.bound - 1;
     co.oracle.sessionReuse = opts.sessionReuse;
     co.oracle.portfolioVsSingle = opts.portfolio;
+    co.oracle.clauseSharing = opts.clauseSharing;
     co.oracle.solverTimeoutMs = opts.solverTimeoutMs;
     co.shrink = opts.shrink;
     co.maxShrinks = opts.maxShrinks;

@@ -62,6 +62,9 @@ usage()
         "  --cube-depth=N     split builtin-solver queries into 2^N\n"
         "                     cubes solved in parallel (default: 0, "
         "off)\n"
+        "  --clause-share=on|off|cube|session\n"
+        "                     learned-clause sharing in the builtin\n"
+        "                     CDCL solver (default: off)\n"
         "  --grid=X.Y         thread grid for SPIR-V kernels\n"
         "  --witness          print the witness execution\n"
         "  --dot=FILE         write the witness as a GraphViz graph\n"
@@ -128,6 +131,10 @@ parseArgs(int argc, char **argv)
         } else if (key == "cube-depth") {
             opts.verifier.cubeDepth =
                 static_cast<int>(cliInt(key, value, 0, 16));
+        } else if (key == "clause-share") {
+            if (!smt::parseClauseShareMode(value,
+                                           opts.verifier.clauseShare))
+                usage();
         } else if (key == "grid") {
             auto parts = split(value, '.');
             if (parts.size() != 2)

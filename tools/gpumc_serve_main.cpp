@@ -10,6 +10,7 @@
  *   gpumc-serve [--stdio | --listen=HOST:PORT | --unix=PATH]
  *               [--jobs=N] [--queue=N] [--result-cache=N]
  *               [--session-cache=N] [--max-timeout=MS] [--cat-dir=DIR]
+ *               [--cache-file=PATH] [--clause-share=MODE]
  *               [--trace=FILE] [--metrics=FILE]
  */
 
@@ -55,6 +56,12 @@ usage()
         "none)\n"
         "  --cat-dir=DIR      directory for 'model' name resolution\n"
         "                     (default: the build's cat/ directory)\n"
+        "  --cache-file=PATH  persist the verdict cache: loaded on\n"
+        "                     startup (silently cold on a missing or\n"
+        "                     incompatible file), written on shutdown\n"
+        "  --clause-share=on|off|cube|session\n"
+        "                     learned-clause sharing in the builtin\n"
+        "                     CDCL solver (default: off)\n"
         "  --trace=FILE       Chrome trace JSON on exit\n"
         "  --metrics=FILE     metrics JSON on exit (the same data is\n"
         "                     available live via the 'metrics' op)\n";
@@ -112,6 +119,14 @@ parseArgs(int argc, char **argv)
             opts.engine.maxTimeoutMs = cliInt(key, value, 0, INT64_MAX);
         } else if (key == "cat-dir") {
             opts.engine.catDir = value;
+        } else if (key == "cache-file") {
+            if (value.empty())
+                usage();
+            opts.engine.cacheFile = value;
+        } else if (key == "clause-share") {
+            if (!smt::parseClauseShareMode(value,
+                                           opts.engine.clauseShare))
+                usage();
         } else if (key == "trace") {
             opts.tracePath = value;
         } else if (key == "metrics") {
