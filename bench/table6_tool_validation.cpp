@@ -45,15 +45,31 @@
  * solve-time totals and the share counters land in
  * BENCH_clause_sharing.json.
  *
+ * --engine-bench races the three verification engines — the SMT
+ * verifier (builtin backend), the DPOR stateless model checker
+ * (src/dpor) and the explicit-state enumerator (src/explicit) — on a
+ * corpus mixing PTX straight-line multi-writer stress tests (where the
+ * candidate space explodes combinatorially) with Vulkan kernels from
+ * the table corpus (including a control-flow kernel both enumerative
+ * engines must decline). Verdicts of every engine that completes must
+ * agree, DPOR must never evaluate more candidates than the explicit
+ * baseline, and the point of the exercise lands in
+ * BENCH_engines.json: the largest stress tests exhaust the explicit
+ * enumerator's budget while DPOR still finishes.
+ *
  * --smoke trims the corpus to two kernels so a bench entry can run in
- * seconds inside the test suite; --clause-share=MODE applies a sharing
- * mode to the table run and the session/portfolio benches (and picks
- * the "on" mode of the clause-share bench).
+ * seconds inside the test suite (for --engine-bench it shrinks the
+ * stress sizes and budgets instead); --clause-share=MODE applies a
+ * sharing mode to the table run and the session/portfolio benches (and
+ * picks the "on" mode of the clause-share bench).
  */
+
+#include <deque>
 
 #include "bench/bench_util.hpp"
 #include "core/batch_verifier.hpp"
 #include "core/clause_share.hpp"
+#include "dpor/dpor_checker.hpp"
 #include "gpuverify/static_drf.hpp"
 #include "kernels/sync_kernels.hpp"
 #include "litmus/litmus_emitter.hpp"
@@ -945,6 +961,258 @@ runClauseShareBench(const std::vector<Kernel> &corpus,
     return identical ? 0 : 1;
 }
 
+/** One engine's view of one engine-bench case. */
+struct EngineRunRecord {
+    bool supported = true;
+    std::string unsupportedReason;
+    bool timedOut = false;
+    bool conditionHolds = false;
+    bool raceFound = false;
+    uint64_t candidates = 0;
+    double ms = 0;
+};
+
+struct EngineBenchCase {
+    std::string name;
+    const prog::Program *program = nullptr;
+    const cat::CatModel *model = nullptr;
+};
+
+/** PTX stress test: `writers` threads each storing to x and y, one
+ *  reader of both — the candidate space (rf choices x canonical
+ *  partial coherence per location) explodes combinatorially. */
+prog::Program
+makeMultiWriter(int writers, bool forallTrue)
+{
+    std::string header, rowX, rowY;
+    for (int t = 0; t <= writers; ++t) {
+        const std::string sep = t ? " | " : "";
+        const std::string v = std::to_string(t + 1);
+        header += sep + "P" + std::to_string(t) + "@cta 0,gpu 0";
+        if (t < writers) {
+            rowX += sep + "st.weak x, " + v;
+            rowY += sep + "st.weak y, " + v;
+        } else {
+            rowX += sep + "ld.weak r0, x";
+            rowY += sep + "ld.weak r1, y";
+        }
+    }
+    const std::string reader = "P" + std::to_string(writers);
+    std::string condition =
+        forallTrue ? "forall (true)"
+                   : "exists (" + reader + ":r0 == 1 /\\ " + reader +
+                         ":r1 == 2)";
+    return litmus::parseLitmus("PTX\n" + header + " ;\n" + rowX +
+                               " ;\n" + rowY + " ;\n" + condition + "\n");
+}
+
+/**
+ * Three-way engine comparison: SMT (builtin backend) vs the DPOR
+ * stateless model checker vs the explicit-state enumerator, on PTX
+ * multi-writer stress tests plus Vulkan kernels from the table corpus.
+ * Writes BENCH_engines.json; fails if any completed engine disagrees
+ * with the SMT verdict or if DPOR ever evaluates more candidates than
+ * the explicit baseline on a case both complete.
+ */
+int
+runEngineBench(const std::vector<Kernel> &corpus, bool smoke)
+{
+    // The enumerative budgets are deliberately sized so the largest
+    // stress test exhausts the explicit enumerator (its full candidate
+    // space is in the millions) while DPOR's pruning and early
+    // stopping keep it comfortably inside the same budget.
+    const uint64_t maxCandidates = smoke ? 20000 : 300000;
+    const double enumTimeoutMs = smoke ? 5000 : 15000;
+
+    std::vector<EngineBenchCase> cases;
+    std::deque<prog::Program> owned; // stable addresses for the cases
+    auto addPtx = [&](int writers, bool forallTrue) {
+        EngineBenchCase c;
+        c.name = "ptx-mw" + std::to_string(writers) +
+                 (forallTrue ? "-forall" : "-exists");
+        owned.push_back(makeMultiWriter(writers, forallTrue));
+        c.program = &owned.back();
+        c.model = &bench::ptx75Model();
+        cases.push_back(std::move(c));
+    };
+    addPtx(2, false);
+    if (!smoke)
+        addPtx(3, false);
+    addPtx(smoke ? 2 : 3, true);
+    addPtx(4, false); // the explicit-budget breaker
+    for (const Kernel &kernel : corpus) {
+        // One straight-line racy kernel (all engines complete) and one
+        // control-flow kernel (the enumerative engines must decline).
+        if (startsWith(kernel.name, "missing-barrier-2") ||
+            startsWith(kernel.name, "flag-handshake-2")) {
+            EngineBenchCase c;
+            c.name = kernel.name;
+            c.program = &kernel.program;
+            c.model = &bench::vulkanModel();
+            cases.push_back(std::move(c));
+        }
+    }
+
+    struct CaseResult {
+        EngineRunRecord smt, dpor, explicitRun;
+        bool flagged = false;
+    };
+    std::vector<CaseResult> results;
+    bool agree = true, candidateOrderOk = true;
+    std::string firstProblem;
+    size_t dporBeatsExplicitTimeout = 0;
+
+    for (const EngineBenchCase &c : cases) {
+        CaseResult r;
+        r.flagged = c.model->hasFlaggedAxioms();
+
+        {
+            Stopwatch clock;
+            core::VerifierOptions vo;
+            vo.wantWitness = false;
+            core::Verifier verifier(*c.program, *c.model, vo);
+            core::VerificationResult safety =
+                verifier.check(core::Property::Safety);
+            r.smt.conditionHolds = safety.holds;
+            r.smt.timedOut = safety.unknown;
+            if (r.flagged) {
+                core::VerificationResult drf =
+                    verifier.check(core::Property::CatSpec);
+                r.smt.raceFound = !drf.holds;
+                r.smt.timedOut = r.smt.timedOut || drf.unknown;
+            }
+            r.smt.ms = clock.elapsedMs();
+        }
+        {
+            dpor::DporOptions dopts;
+            dopts.maxCandidates = maxCandidates;
+            dopts.timeoutMs = enumTimeoutMs;
+            dpor::DporChecker checker(*c.program, *c.model, dopts);
+            dpor::DporResult res = checker.run();
+            r.dpor = {res.supported,       res.unsupportedReason,
+                      res.timedOut,        res.conditionHolds,
+                      res.raceFound,       res.candidatesExplored,
+                      res.timeMs};
+        }
+        {
+            expl::ExplicitOptions eo;
+            eo.maxCandidates = maxCandidates;
+            eo.timeoutMs = enumTimeoutMs;
+            expl::ExplicitChecker checker(*c.program, *c.model, eo);
+            expl::ExplicitResult res = checker.run();
+            r.explicitRun = {res.supported,       res.unsupportedReason,
+                             res.timedOut,        res.conditionHolds,
+                             res.raceFound,       res.candidatesExplored,
+                             res.timeMs};
+        }
+
+        auto checkAgainstSmt = [&](const EngineRunRecord &run,
+                                   const char *who) {
+            if (!run.supported || run.timedOut || r.smt.timedOut)
+                return;
+            if (run.conditionHolds != r.smt.conditionHolds ||
+                (r.flagged && run.raceFound != r.smt.raceFound)) {
+                if (agree) {
+                    agree = false;
+                    firstProblem = c.name + ": " + who +
+                                   " disagrees with smt";
+                }
+            }
+        };
+        checkAgainstSmt(r.dpor, "dpor");
+        checkAgainstSmt(r.explicitRun, "explicit");
+        if (r.dpor.supported && !r.dpor.timedOut &&
+            r.explicitRun.supported && !r.explicitRun.timedOut &&
+            r.dpor.candidates > r.explicitRun.candidates &&
+            candidateOrderOk) {
+            candidateOrderOk = false;
+            firstProblem =
+                c.name + ": dpor explored more candidates than explicit";
+        }
+        if (r.dpor.supported && !r.dpor.timedOut &&
+            r.explicitRun.supported && r.explicitRun.timedOut) {
+            dporBeatsExplicitTimeout++;
+        }
+        results.push_back(std::move(r));
+    }
+
+    std::printf("Engine bench: %zu cases, enumerative budget %llu "
+                "candidates / %.0f ms\n\n",
+                cases.size(),
+                static_cast<unsigned long long>(maxCandidates),
+                enumTimeoutMs);
+    std::printf("%-24s %-18s %-28s %-28s\n", "CASE", "smt", "dpor",
+                "explicit");
+    auto cell = [](const EngineRunRecord &run, bool withCandidates) {
+        if (!run.supported)
+            return std::string("unsupported");
+        if (run.timedOut)
+            return "TIMEOUT(" + std::to_string(run.candidates) + ")";
+        std::string s = run.conditionHolds ? "holds" : "fails";
+        if (withCandidates)
+            s += "/" + std::to_string(run.candidates);
+        char buf[32];
+        std::snprintf(buf, sizeof buf, " %.1fms", run.ms);
+        return s + buf;
+    };
+    for (size_t i = 0; i < cases.size(); ++i) {
+        const CaseResult &r = results[i];
+        std::printf("%-24s %-18s %-28s %-28s\n", cases[i].name.c_str(),
+                    cell(r.smt, false).c_str(),
+                    cell(r.dpor, true).c_str(),
+                    cell(r.explicitRun, true).c_str());
+    }
+    std::printf("\ncases where dpor completed but explicit exhausted "
+                "its budget: %zu\n",
+                dporBeatsExplicitTimeout);
+    std::printf("verdicts: %s\n",
+                agree && candidateOrderOk
+                    ? "every completed engine agrees with smt"
+                    : ("PROBLEM: " + firstProblem).c_str());
+
+    std::ofstream json("BENCH_engines.json");
+    auto runJson = [&](const char *name, const EngineRunRecord &run) {
+        json << "\"" << name << "\": {\"supported\": "
+             << (run.supported ? "true" : "false");
+        if (!run.supported) {
+            json << ", \"reason\": " << jsonString(run.unsupportedReason)
+                 << "}";
+            return;
+        }
+        json << ", \"timedOut\": " << (run.timedOut ? "true" : "false")
+             << ", \"holds\": " << (run.conditionHolds ? "true" : "false")
+             << ", \"raceFound\": " << (run.raceFound ? "true" : "false")
+             << ", \"candidates\": " << run.candidates
+             << ", \"ms\": " << run.ms << "}";
+    };
+    json << "{\n  \"cases\": [\n";
+    for (size_t i = 0; i < cases.size(); ++i) {
+        const CaseResult &r = results[i];
+        json << "    {\"name\": " << jsonString(cases[i].name) << ", ";
+        runJson("smt", r.smt);
+        json << ", ";
+        runJson("dpor", r.dpor);
+        json << ", ";
+        runJson("explicit", r.explicitRun);
+        json << "}" << (i + 1 < cases.size() ? "," : "") << "\n";
+    }
+    json << "  ],\n  \"maxCandidates\": " << maxCandidates
+         << ",\n  \"timeoutMs\": " << enumTimeoutMs
+         << ",\n  \"dporCompletedWhereExplicitTimedOut\": "
+         << dporBeatsExplicitTimeout
+         << ",\n  \"verdictsAgree\": " << (agree ? "true" : "false")
+         << ",\n  \"dporNeverExploresMore\": "
+         << (candidateOrderOk ? "true" : "false")
+         << ",\n  \"firstProblem\": "
+         << (agree && candidateOrderOk ? "null"
+                                       : jsonString(firstProblem))
+         << "\n}\n";
+    json.close();
+    std::printf("(writing BENCH_engines.json)\n");
+
+    return agree && candidateOrderOk ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -955,6 +1223,7 @@ main(int argc, char **argv)
     bool portfolioBench = false;
     bool serveBench = false;
     bool clauseShareBench = false;
+    bool engineBench = false;
     bool smoke = false;
     int rounds = 3;
     for (int i = 1; i < argc; ++i) {
@@ -974,6 +1243,8 @@ main(int argc, char **argv)
             serveBench = true;
         } else if (arg == "--clause-share-bench") {
             clauseShareBench = true;
+        } else if (arg == "--engine-bench") {
+            engineBench = true;
         } else if (arg == "--smoke") {
             smoke = true;
         } else if (startsWith(arg, "--rounds=")) {
@@ -995,6 +1266,11 @@ main(int argc, char **argv)
     }
 
     std::vector<Kernel> corpus = generateKernelCorpus();
+    // The engine bench scales itself down under --smoke (smaller
+    // stress sizes and budgets) and picks its own kernels, so it runs
+    // on the untrimmed corpus.
+    if (engineBench)
+        return runEngineBench(corpus, smoke);
     if (smoke) {
         // --smoke: keep only the first two gpumc-supported kernels so
         // a bench entry finishes in seconds inside the test suite.

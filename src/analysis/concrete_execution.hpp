@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Shared machinery for engines that evaluate `.cat` models over
+ * *concrete* executions (explicit enumeration in `src/explicit`, DPOR
+ * exploration in `src/dpor`): an ExecutionView backed by materialized
+ * base relations, the straight-line value simulator that resolves
+ * register/memory values under one rf assignment, and the static base
+ * relations derived from RelationAnalysis bounds.
+ */
+
+#ifndef GPUMC_ANALYSIS_CONCRETE_EXECUTION_HPP
+#define GPUMC_ANALYSIS_CONCRETE_EXECUTION_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/relation_analysis.hpp"
+#include "cat/evaluator.hpp"
+#include "cat/pair_set.hpp"
+#include "program/program.hpp"
+#include "program/unroller.hpp"
+
+namespace gpumc::analysis {
+
+/** Simulated values are truncated to this many bits (matching the SMT
+ *  encoder's default value width for litmus-scale programs). */
+constexpr int kConcreteValueBits = 8;
+constexpr int64_t kConcreteValueMask = (1 << kConcreteValueBits) - 1;
+
+/**
+ * ExecutionView over one concrete (possibly partial) behaviour: every
+ * event of the unrolled program executes, and base relations are
+ * materialized PairSets. Engines that grow relations incrementally can
+ * mutate them in place through rel().
+ */
+class ConcreteView : public cat::ExecutionView {
+  public:
+    ConcreteView(const prog::UnrolledProgram &up,
+                 std::map<std::string, cat::PairSet> rels)
+        : up_(&up), rels_(std::move(rels))
+    {
+    }
+
+    int numEvents() const override { return up_->numEvents(); }
+
+    bool inSet(int event, const std::string &tag) const override
+    {
+        return prog::eventHasTag(up_->events[event], tag);
+    }
+
+    const cat::PairSet &baseRel(const std::string &name) const override;
+
+    /** Mutable access for incremental engines. */
+    cat::PairSet &rel(const std::string &name) { return rels_[name]; }
+
+  private:
+    const prog::UnrolledProgram *up_;
+    std::map<std::string, cat::PairSet> rels_;
+};
+
+/** Does a final-state condition mention memory-valued terms? */
+bool condUsesMemory(const prog::Cond &cond);
+
+/**
+ * Value simulation of a straight-line unrolled program under one rf
+ * assignment: fix-point register propagation, enumeration of
+ * value-dependency cycles over the program's value universe, and
+ * rf value-consistency validation.
+ */
+class ValueSimulation {
+  public:
+    ValueSimulation(const prog::Program &program,
+                    const prog::UnrolledProgram &up)
+        : program_(&program), up_(&up)
+    {
+    }
+
+    /**
+     * Simulate all threads with read event reads[i] taking its value
+     * from write rfChoice[i]. Returns false when the assignment is
+     * value-inconsistent (no resolution matches every rf edge).
+     */
+    bool simulate(const std::vector<int> &reads,
+                  const std::vector<int> &rfChoice);
+
+    /** Event id -> simulated value (after a successful simulate()). */
+    const std::map<int, int64_t> &values() const { return values_; }
+
+    /** Barrier event id -> runtime barrier id. */
+    const std::map<int, int64_t> &barrierIds() const
+    {
+        return barrierIds_;
+    }
+
+    /** "P0:r1" -> final register value. */
+    const std::map<std::string, int64_t> &finalRegs() const
+    {
+        return finalRegs_;
+    }
+
+    /**
+     * Evaluate one final-state condition term. Mem terms read the
+     * co-maximal executed write of the location under @p co.
+     */
+    int64_t evalTerm(const prog::CondTerm &term,
+                     const cat::PairSet &co) const;
+
+  private:
+    bool enumerateUnresolved(const std::vector<int> &unresolved,
+                             size_t index);
+    bool finishSimulation();
+    void simulatePass(bool &changed);
+
+    const prog::Program *program_;
+    const prog::UnrolledProgram *up_;
+    const std::vector<int> *reads_ = nullptr;
+    const std::vector<int> *rfChoice_ = nullptr;
+
+    std::map<int, int64_t> values_;
+    std::map<int, int64_t> barrierIds_;
+    std::map<std::string, int64_t> finalRegs_;
+};
+
+/**
+ * The base relations that are fixed for a straight-line program once
+ * values are simulated: the analysis upper bounds of the static
+ * relations plus the barrier relations filtered down to pairs with
+ * equal runtime barrier ids. rf / co / sync_fence are left for the
+ * caller to fill in.
+ */
+std::map<std::string, cat::PairSet>
+concreteStaticRels(RelationAnalysis &ra,
+                   const std::map<int, int64_t> &barrierIds);
+
+/** Non-init write events per physical location. */
+std::map<int, std::vector<int>>
+concreteWritesPerLoc(const prog::UnrolledProgram &up);
+
+/** init-write -> same-location non-init write edges (always in co). */
+cat::PairSet concreteInitCoEdges(const prog::UnrolledProgram &up);
+
+} // namespace gpumc::analysis
+
+#endif // GPUMC_ANALYSIS_CONCRETE_EXECUTION_HPP

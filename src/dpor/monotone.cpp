@@ -1,0 +1,104 @@
+#include "dpor/monotone.hpp"
+
+namespace gpumc::dpor {
+
+Polarity
+joinPolarity(Polarity a, Polarity b)
+{
+    if (a == Polarity::None)
+        return b;
+    if (b == Polarity::None)
+        return a;
+    if (a == b)
+        return a;
+    return Polarity::Both;
+}
+
+Polarity
+flipPolarity(Polarity p)
+{
+    switch (p) {
+      case Polarity::Pos:
+        return Polarity::Neg;
+      case Polarity::Neg:
+        return Polarity::Pos;
+      default:
+        return p;
+    }
+}
+
+Polarity
+PolarityAnalysis::polarityOf(const cat::Expr &expr,
+                             const std::string &rel)
+{
+    auto key = std::make_pair(&expr, rel);
+    auto it = cache_.find(key);
+    if (it != cache_.end())
+        return it->second;
+    // Seed the cache so a (malformed) recursive let cannot loop; the
+    // semantic pass guarantees lets only reference earlier bindings.
+    cache_[key] = Polarity::None;
+
+    Polarity p = Polarity::None;
+    switch (expr.kind) {
+      case cat::ExprKind::Name:
+        if (expr.resolution == cat::NameRes::BaseRel &&
+            expr.name == rel) {
+            p = Polarity::Pos;
+        } else if (expr.resolution == cat::NameRes::LetRef) {
+            p = polarityOf(*model_->lets()[expr.letIndex].expr, rel);
+        }
+        break;
+      case cat::ExprKind::Union:
+      case cat::ExprKind::Inter:
+      case cat::ExprKind::Seq:
+        p = joinPolarity(polarityOf(*expr.lhs, rel),
+                         polarityOf(*expr.rhs, rel));
+        break;
+      case cat::ExprKind::Diff:
+        p = joinPolarity(polarityOf(*expr.lhs, rel),
+                         flipPolarity(polarityOf(*expr.rhs, rel)));
+        break;
+      case cat::ExprKind::Cartesian:
+      case cat::ExprKind::Bracket:
+        // Set-typed operands: sets are built from base tags only and
+        // cannot mention a base relation.
+        p = Polarity::None;
+        break;
+      case cat::ExprKind::Inverse:
+      case cat::ExprKind::TransClosure:
+      case cat::ExprKind::ReflTransClosure:
+      case cat::ExprKind::Optional:
+        p = polarityOf(*expr.lhs, rel);
+        break;
+    }
+    cache_[key] = p;
+    return p;
+}
+
+bool
+PolarityAnalysis::prunableWithPartial(
+    const cat::Axiom &axiom, const std::vector<std::string> &undecided)
+{
+    if (axiom.kind == cat::AxiomKind::FlagNonEmpty)
+        return false;
+    for (const std::string &rel : undecided) {
+        Polarity p = polarityOf(*axiom.expr, rel);
+        if (p != Polarity::None && p != Polarity::Pos)
+            return false;
+    }
+    return true;
+}
+
+bool
+PolarityAnalysis::constantIn(const cat::Axiom &axiom,
+                             const std::vector<std::string> &undecided)
+{
+    for (const std::string &rel : undecided) {
+        if (polarityOf(*axiom.expr, rel) != Polarity::None)
+            return false;
+    }
+    return true;
+}
+
+} // namespace gpumc::dpor

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Occurrence-polarity analysis of `.cat` expressions — the soundness
+ * core of the DPOR engine's partial-graph pruning.
+ *
+ * While the exploration grows an execution graph one decision at a
+ * time, every still-undecided base relation is only *under*-
+ * approximated: the edges decided so far are a subset of the edges of
+ * any complete extension. An axiom `empty e` / `irreflexive e` /
+ * `acyclic e` can be checked soundly on such a partial graph iff `e`
+ * is *monotone* in every undecided base relation — then
+ * e(partial) ⊆ e(extension), so a violation visible on the partial
+ * graph persists in every completion and the whole subtree can be
+ * pruned. Monotonicity is syntactic: a base relation occurring only
+ * positively (never under the right-hand side of `\`) is monotone;
+ * `Cartesian` and `[A]` products of sets never mention relations at
+ * all. Polarities are computed through `let` bindings.
+ */
+
+#ifndef GPUMC_DPOR_MONOTONE_HPP
+#define GPUMC_DPOR_MONOTONE_HPP
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cat/ast.hpp"
+#include "cat/model.hpp"
+
+namespace gpumc::dpor {
+
+/** How a base relation occurs inside an expression. */
+enum class Polarity {
+    None, ///< does not occur
+    Pos,  ///< only positively (expression is monotone in it)
+    Neg,  ///< only negatively (antitone)
+    Both, ///< mixed occurrences
+};
+
+Polarity joinPolarity(Polarity a, Polarity b);
+Polarity flipPolarity(Polarity p);
+
+class PolarityAnalysis {
+  public:
+    explicit PolarityAnalysis(const cat::CatModel &model)
+        : model_(&model)
+    {
+    }
+
+    /** Polarity of base relation @p rel in @p expr (through lets). */
+    Polarity polarityOf(const cat::Expr &expr, const std::string &rel);
+
+    /**
+     * Can a violation of @p axiom already be trusted on a partial
+     * graph where every relation in @p undecided is a subset of its
+     * final value? True iff the axiom expression is monotone (Pos or
+     * None) in each of them. Flag axioms are never used for pruning.
+     */
+    bool prunableWithPartial(const cat::Axiom &axiom,
+                             const std::vector<std::string> &undecided);
+
+    /** Does the axiom's value ignore every relation in @p undecided? */
+    bool constantIn(const cat::Axiom &axiom,
+                    const std::vector<std::string> &undecided);
+
+  private:
+    const cat::CatModel *model_;
+    std::map<std::pair<const cat::Expr *, std::string>, Polarity>
+        cache_;
+};
+
+} // namespace gpumc::dpor
+
+#endif // GPUMC_DPOR_MONOTONE_HPP

@@ -4,6 +4,7 @@
 #include <map>
 #include <set>
 
+#include "analysis/concrete_execution.hpp"
 #include "analysis/relation_analysis.hpp"
 #include "cat/evaluator.hpp"
 #include "program/event.hpp"
@@ -18,41 +19,6 @@ using prog::EventKind;
 using prog::Opcode;
 using prog::RmwKind;
 
-namespace {
-
-constexpr int kValueBits = 8;
-constexpr int64_t kValueMask = (1 << kValueBits) - 1;
-
-/** ExecutionView over a fully-materialized behaviour. */
-class ExplicitView : public cat::ExecutionView {
-  public:
-    ExplicitView(const prog::UnrolledProgram &up,
-                 std::map<std::string, PairSet> rels)
-        : up_(&up), rels_(std::move(rels))
-    {
-    }
-
-    int numEvents() const override { return up_->numEvents(); }
-
-    bool inSet(int event, const std::string &tag) const override
-    {
-        return prog::eventHasTag(up_->events[event], tag);
-    }
-
-    const PairSet &baseRel(const std::string &name) const override
-    {
-        auto it = rels_.find(name);
-        GPUMC_ASSERT(it != rels_.end(), "unknown base relation ", name);
-        return it->second;
-    }
-
-  private:
-    const prog::UnrolledProgram *up_;
-    std::map<std::string, PairSet> rels_;
-};
-
-} // namespace
-
 struct ExplicitChecker::Impl {
     const prog::Program &program;
     const cat::CatModel &model;
@@ -61,15 +27,11 @@ struct ExplicitChecker::Impl {
     prog::UnrolledProgram up;
     analysis::ExecAnalysis exec;
     analysis::RelationAnalysis ra;
+    analysis::ValueSimulation sim;
 
     std::vector<int> reads;                    // read event ids
     std::vector<std::vector<int>> candidates;  // rf candidates per read
     std::vector<int> rfChoice;                 // current assignment
-
-    // Simulation outputs per rf assignment.
-    std::map<int, int64_t> values;             // event -> value
-    std::map<int, int64_t> barrierIds;         // barrier event -> id
-    std::map<std::string, int64_t> finalRegs;  // "P0:r1" -> value
 
     Stopwatch watch;
     ExplicitResult result;
@@ -79,7 +41,7 @@ struct ExplicitChecker::Impl {
     Impl(const prog::Program &p, const cat::CatModel &m,
          ExplicitOptions o)
         : program(p), model(m), opts(o), up(prog::unroll(p, 1)),
-          exec(up), ra(exec, m)
+          exec(up), ra(exec, m), sim(p, up)
     {
     }
 
@@ -119,234 +81,33 @@ struct ExplicitChecker::Impl {
         return true;
     }
 
-    bool condUsesMemory(const prog::Cond &cond) const
-    {
-        switch (cond.kind) {
-          case prog::Cond::Kind::And:
-          case prog::Cond::Kind::Or:
-            return condUsesMemory(*cond.lhs) || condUsesMemory(*cond.rhs);
-          case prog::Cond::Kind::Not:
-            return condUsesMemory(*cond.lhs);
-          case prog::Cond::Kind::Eq:
-          case prog::Cond::Kind::Ne:
-            return cond.tl.kind == prog::CondTerm::Kind::Mem ||
-                   cond.tr.kind == prog::CondTerm::Kind::Mem;
-          case prog::Cond::Kind::True:
-            return false;
-        }
-        return false;
-    }
-
-    // ---- value simulation -----------------------------------------------
-
-    /**
-     * Simulate all threads given the current rf assignment. Returns
-     * false if the values could not be resolved consistently (only
-     * possible for cyclic value dependencies after enumeration).
-     */
-    bool simulate()
-    {
-        values.clear();
-        barrierIds.clear();
-        finalRegs.clear();
-        for (int e = 0; e < up.numInitEvents; ++e)
-            values[e] = up.events[e].initValue & kValueMask;
-
-        // Fix-point passes; each pass may resolve more reads.
-        bool changed = true;
-        int guardPasses = up.numEvents() + 2;
-        while (changed && guardPasses-- > 0) {
-            changed = false;
-            simulatePass(changed);
-        }
-
-        // Unresolved reads form value-dependency cycles; enumerate them
-        // over the program's value universe.
-        std::vector<int> unresolved;
-        for (size_t i = 0; i < reads.size(); ++i) {
-            if (!values.count(reads[i]))
-                unresolved.push_back(static_cast<int>(i));
-        }
-        if (unresolved.empty())
-            return finishSimulation();
-        return enumerateUnresolved(unresolved, 0);
-    }
-
-    bool enumerateUnresolved(const std::vector<int> &unresolved,
-                             size_t index)
-    {
-        if (index == unresolved.size())
-            return finishSimulation();
-        for (int64_t v : program.valueUniverse()) {
-            values[reads[unresolved[index]]] = v & kValueMask;
-            if (enumerateUnresolved(unresolved, index + 1))
-                return true;
-        }
-        values.erase(reads[unresolved[index]]);
-        return false;
-    }
-
-    /** Validate rf value-consistency and capture final registers. */
-    bool finishSimulation()
-    {
-        bool changed = true;
-        simulatePass(changed); // recompute with all reads bound
-        for (size_t i = 0; i < reads.size(); ++i) {
-            int r = reads[i], w = rfChoice[i];
-            if (!values.count(r) || !values.count(w) ||
-                values[r] != values[w]) {
-                return false;
-            }
-        }
-        return true;
-    }
-
-    void simulatePass(bool &changed)
-    {
-        for (int t = 0; t < program.numThreads(); ++t) {
-            std::map<std::string, std::optional<int64_t>> env;
-            auto evalOp =
-                [&](const prog::Operand &op) -> std::optional<int64_t> {
-                if (!op.isReg())
-                    return op.value & kValueMask;
-                auto it = env.find(op.reg);
-                if (it == env.end())
-                    return 0; // unassigned registers read 0
-                return it->second;
-            };
-            auto setValue = [&](int event, std::optional<int64_t> v) {
-                if (!v)
-                    return;
-                int64_t masked = *v & kValueMask;
-                auto it = values.find(event);
-                if (it == values.end() || it->second != masked) {
-                    values[event] = masked;
-                    changed = true;
-                }
-            };
-
-            for (int idx : up.threadNodes[t]) {
-                const prog::UNode &node = up.nodes[idx];
-                if (node.special != prog::NodeSpecial::None || !node.instr)
-                    continue;
-                const prog::Instruction &ins = *node.instr;
-                switch (ins.op) {
-                  case Opcode::Load: {
-                    // The read's value comes from its rf source.
-                    auto pos = std::find(reads.begin(), reads.end(),
-                                         node.readEvent);
-                    int w = rfChoice[pos - reads.begin()];
-                    std::optional<int64_t> v;
-                    if (values.count(node.readEvent)) {
-                        v = values[node.readEvent]; // enumerated cycle
-                    } else if (values.count(w)) {
-                        v = values[w];
-                        setValue(node.readEvent, v);
-                    }
-                    env[ins.dst] = v;
-                    break;
-                  }
-                  case Opcode::Store:
-                    setValue(node.writeEvent, evalOp(ins.src));
-                    break;
-                  case Opcode::Rmw: {
-                    auto pos = std::find(reads.begin(), reads.end(),
-                                         node.readEvent);
-                    int w = rfChoice[pos - reads.begin()];
-                    std::optional<int64_t> old;
-                    if (values.count(node.readEvent))
-                        old = values[node.readEvent];
-                    else if (values.count(w)) {
-                        old = values[w];
-                        setValue(node.readEvent, old);
-                    }
-                    std::optional<int64_t> operand = evalOp(ins.src);
-                    if (ins.rmwKind == RmwKind::Add) {
-                        if (old && operand)
-                            setValue(node.writeEvent, *old + *operand);
-                    } else { // Exchange
-                        setValue(node.writeEvent, operand);
-                    }
-                    env[ins.dst] = old;
-                    break;
-                  }
-                  case Opcode::Barrier: {
-                    std::optional<int64_t> id = evalOp(ins.barrierId);
-                    if (id)
-                        barrierIds[node.eventId] = *id & kValueMask;
-                    break;
-                  }
-                  case Opcode::Mov:
-                    env[ins.dst] = evalOp(ins.src);
-                    break;
-                  case Opcode::AddReg: {
-                    auto a = evalOp(ins.branchLhs), b = evalOp(ins.src);
-                    env[ins.dst] = (a && b)
-                        ? std::optional<int64_t>((*a + *b) & kValueMask)
-                        : std::nullopt;
-                    break;
-                  }
-                  default:
-                    break;
-                }
-            }
-            for (const auto &[reg, v] : env) {
-                if (v) {
-                    finalRegs[program.threads[t].name + ":" + reg] = *v;
-                }
-            }
-        }
-    }
-
     // ---- coherence enumeration -------------------------------------------
 
-    /** Writes per location (non-init). */
-    std::map<int, std::vector<int>> writesPerLoc() const
-    {
-        std::map<int, std::vector<int>> out;
-        for (int e = up.numInitEvents; e < up.numEvents(); ++e) {
-            const Event &ev = up.events[e];
-            if (ev.kind == EventKind::Write)
-                out[ev.physLoc].push_back(e);
-        }
-        return out;
-    }
-
-    PairSet initCoEdges() const
-    {
-        PairSet co;
-        for (int i = 0; i < up.numInitEvents; ++i) {
-            for (int e = up.numInitEvents; e < up.numEvents(); ++e) {
-                const Event &ev = up.events[e];
-                if (ev.kind == EventKind::Write &&
-                    ev.physLoc == up.events[i].physLoc) {
-                    co.add(i, e);
-                }
-            }
-        }
-        return co;
-    }
-
-    /** Enumerate total co (Vulkan), invoking fn for each. */
+    /**
+     * Enumerate total co (Vulkan), invoking fn for each. Permutations
+     * are generated lazily — each location holds one current order
+     * advanced in place by next_permutation under a mixed-radix carry —
+     * so memory stays O(#writes) and the wall-clock budget is
+     * re-checked between candidates instead of after materializing the
+     * whole factorial product.
+     */
     template <typename Fn>
     bool enumerateTotalCo(Fn &&fn)
     {
-        std::map<int, std::vector<int>> perLoc = writesPerLoc();
-        std::vector<std::vector<std::vector<int>>> perms; // per loc
-        for (auto &[loc, writes] : perLoc) {
+        std::map<int, std::vector<int>> perLocMap =
+            analysis::concreteWritesPerLoc(up);
+        std::vector<std::vector<int>> perLoc;
+        for (auto &[loc, writes] : perLocMap) {
             (void)loc;
             std::sort(writes.begin(), writes.end());
-            std::vector<std::vector<int>> locPerms;
-            do {
-                locPerms.push_back(writes);
-            } while (std::next_permutation(writes.begin(), writes.end()));
-            perms.push_back(std::move(locPerms));
+            perLoc.push_back(std::move(writes));
         }
-        std::vector<size_t> pick(perms.size(), 0);
+        PairSet initCo = analysis::concreteInitCoEdges(up);
         while (true) {
-            PairSet co = initCoEdges();
-            for (size_t k = 0; k < perms.size(); ++k) {
-                const std::vector<int> &order = perms[k][pick[k]];
+            if (overBudget())
+                return false;
+            PairSet co = initCo;
+            for (const std::vector<int> &order : perLoc) {
                 for (size_t i = 0; i < order.size(); ++i) {
                     for (size_t j = i + 1; j < order.size(); ++j)
                         co.add(order[i], order[j]);
@@ -354,13 +115,15 @@ struct ExplicitChecker::Impl {
             }
             if (!fn(co))
                 return false;
-            // Advance the mixed-radix counter.
+            // Advance: next_permutation wraps a digit back to sorted
+            // order and carries into the next location.
             size_t k = 0;
-            while (k < perms.size() && ++pick[k] == perms[k].size()) {
-                pick[k] = 0;
+            while (k < perLoc.size() &&
+                   !std::next_permutation(perLoc[k].begin(),
+                                          perLoc[k].end())) {
                 k++;
             }
-            if (k == perms.size())
+            if (k == perLoc.size())
                 return true;
         }
     }
@@ -369,7 +132,8 @@ struct ExplicitChecker::Impl {
     template <typename Fn>
     bool enumeratePartialCo(Fn &&fn)
     {
-        std::map<int, std::vector<int>> perLoc = writesPerLoc();
+        std::map<int, std::vector<int>> perLoc =
+            analysis::concreteWritesPerLoc(up);
         std::vector<std::pair<int, int>> pairs; // unordered write pairs
         for (auto &[loc, writes] : perLoc) {
             (void)loc;
@@ -378,9 +142,12 @@ struct ExplicitChecker::Impl {
                     pairs.push_back({writes[i], writes[j]});
             }
         }
+        PairSet initCo = analysis::concreteInitCoEdges(up);
         std::vector<int> choice(pairs.size(), 0); // 0 unordered, 1 <, 2 >
         while (true) {
-            PairSet co = initCoEdges();
+            if (overBudget())
+                return false;
+            PairSet co = initCo;
             for (size_t k = 0; k < pairs.size(); ++k) {
                 if (choice[k] == 1)
                     co.add(pairs[k].first, pairs[k].second);
@@ -413,7 +180,12 @@ struct ExplicitChecker::Impl {
         }
     }
 
-    /** Enumerate sync_fence total orders (PTX SC fences). */
+    /**
+     * Enumerate sync_fence total orders (PTX SC fences). Distinct
+     * fence permutations collapse to identical sf sets whenever the
+     * static upper bound prunes pairs; each distinct set is evaluated
+     * exactly once.
+     */
     template <typename Fn>
     bool enumerateSyncFence(Fn &&fn)
     {
@@ -429,6 +201,7 @@ struct ExplicitChecker::Impl {
         }
         const PairSet &ub = ra.baseBounds("sync_fence").ub;
         std::sort(fences.begin(), fences.end());
+        std::set<std::vector<uint64_t>> seen;
         do {
             PairSet sf;
             for (size_t i = 0; i < fences.size(); ++i) {
@@ -437,6 +210,13 @@ struct ExplicitChecker::Impl {
                         sf.add(fences[i], fences[j]);
                 }
             }
+            std::vector<uint64_t> key;
+            key.reserve(sf.size());
+            for (auto [a, b] : sf.pairs())
+                key.push_back(PairSet::key(a, b));
+            std::sort(key.begin(), key.end());
+            if (!seen.insert(std::move(key)).second)
+                continue;
             if (!fn(sf))
                 return false;
         } while (std::next_permutation(fences.begin(), fences.end()));
@@ -445,62 +225,6 @@ struct ExplicitChecker::Impl {
 
     // ---- behaviour evaluation --------------------------------------------
 
-    std::map<std::string, PairSet> staticRels()
-    {
-        std::map<std::string, PairSet> rels;
-        for (const char *name :
-             {"po", "loc", "vloc", "id", "int", "ext", "addr", "data",
-              "ctrl", "rmw", "sr", "scta", "ssg", "swg", "sqf", "ssw"}) {
-            rels[name] = ra.baseBounds(name).ub;
-        }
-        // Barrier relations from the concrete runtime ids.
-        for (const char *name : {"syncbar", "sync_barrier"}) {
-            PairSet out;
-            for (auto [a, b] : ra.baseBounds(name).ub.pairs()) {
-                auto ia = barrierIds.find(a), ib = barrierIds.find(b);
-                if (ia != barrierIds.end() && ib != barrierIds.end() &&
-                    ia->second == ib->second) {
-                    out.add(a, b);
-                }
-            }
-            rels[name] = std::move(out);
-        }
-        return rels;
-    }
-
-    int64_t evalTerm(const prog::CondTerm &term, const PairSet &co)
-    {
-        switch (term.kind) {
-          case prog::CondTerm::Kind::Const:
-            return term.value;
-          case prog::CondTerm::Kind::Reg: {
-            std::string key =
-                "P" + std::to_string(term.thread) + ":" + term.name;
-            auto it = finalRegs.find(key);
-            return it == finalRegs.end() ? 0 : it->second;
-          }
-          case prog::CondTerm::Kind::Mem: {
-            int loc = program.physLoc(term.name);
-            // co-maximal executed write to loc.
-            for (int e = 0; e < up.numEvents(); ++e) {
-                const Event &ev = up.events[e];
-                if (ev.kind != EventKind::Write || ev.physLoc != loc)
-                    continue;
-                bool maximal = true;
-                for (auto [a, b] : co.pairs()) {
-                    (void)b;
-                    if (a == e)
-                        maximal = false;
-                }
-                if (maximal)
-                    return values.count(e) ? values[e] : 0;
-            }
-            return 0;
-          }
-        }
-        GPUMC_PANIC("unhandled term");
-    }
-
     /** Evaluate one complete behaviour candidate. */
     bool evaluateBehaviour(const PairSet &co, const PairSet &sf)
     {
@@ -508,7 +232,8 @@ struct ExplicitChecker::Impl {
         if (overBudget())
             return false;
 
-        std::map<std::string, PairSet> rels = staticRels();
+        std::map<std::string, PairSet> rels =
+            analysis::concreteStaticRels(ra, sim.barrierIds());
         PairSet rf;
         for (size_t i = 0; i < reads.size(); ++i)
             rf.add(rfChoice[i], reads[i]);
@@ -516,13 +241,13 @@ struct ExplicitChecker::Impl {
         rels["co"] = co;
         rels["sync_fence"] = sf;
 
-        ExplicitView view(up, std::move(rels));
+        analysis::ConcreteView view(up, std::move(rels));
         cat::RelationEvaluator evaluator(model, view);
         if (!evaluator.consistent())
             return true;
 
         auto valuation = [&](const prog::CondTerm &term) {
-            return evalTerm(term, co);
+            return sim.evalTerm(term, co);
         };
         if (program.filter &&
             !prog::evalCond(*program.filter, valuation)) {
@@ -548,7 +273,7 @@ struct ExplicitChecker::Impl {
     bool enumerateRf(size_t readIndex)
     {
         if (readIndex == reads.size()) {
-            if (!simulate())
+            if (!sim.simulate(reads, rfChoice))
                 return true; // value-inconsistent rf choice: skip
             auto withCo = [&](const PairSet &co) {
                 return enumerateSyncFence([&](const PairSet &sf) {
@@ -571,7 +296,8 @@ struct ExplicitChecker::Impl {
     {
         if (!checkSupported())
             return result;
-        if (program.assertion && condUsesMemory(*program.assertion) &&
+        if (program.assertion &&
+            analysis::condUsesMemory(*program.assertion) &&
             program.arch == prog::Arch::Ptx) {
             result.supported = false;
             result.unsupportedReason =

@@ -233,6 +233,18 @@ runCampaign(const CampaignOptions &options)
         });
     }
 
+    // Phase 4e: the DPOR differential, likewise self-contained per
+    // case (a full stateless-model-checking exploration vs the builtin
+    // SMT verdicts); unsupported programs and exhausted budgets show
+    // up as skips in the log rather than vanishing.
+    std::vector<OracleOutcome> dporOutcomes(static_cast<size_t>(runs));
+    if (oracle.dpor) {
+        parallelFor(runs, options.jobs, [&](int64_t i) {
+            const size_t n = static_cast<size_t>(i);
+            dporOutcomes[n] = dporOracle(programs[n], model, oracle);
+        });
+    }
+
     // Phase 5: compare, sequentially in input order.
     std::vector<size_t> disagreeing;
     for (int i = 0; i < runs; ++i) {
@@ -264,6 +276,8 @@ runCampaign(const CampaignOptions &options)
             report.outcomes.push_back(portfolioOutcomes[n]);
         if (oracle.clauseSharing)
             report.outcomes.push_back(sharingOutcomes[n]);
+        if (oracle.dpor)
+            report.outcomes.push_back(dporOutcomes[n]);
         for (const OracleOutcome &o : report.outcomes) {
             result.oracleChecks++;
             switch (o.verdict) {
@@ -363,6 +377,13 @@ runCampaign(const CampaignOptions &options)
                         reproCommand(fileName, options.modelName,
                                      "builtin", oracle.bound + 1) +
                         "\n";
+            } else if (kind == OracleKind::Dpor) {
+                text += "// reproduce: " +
+                        reproCommand(fileName, options.modelName,
+                                     "builtin", oracle.bound) +
+                        "\n";
+                text += "//       vs: gpumc " + fileName + " " +
+                        options.modelName + ".cat --engine=dpor\n";
             } else if (kind == OracleKind::ClauseSharing) {
                 text += "// reproduce: " +
                         reproCommand(fileName, options.modelName,

@@ -1,5 +1,6 @@
 #include "fuzz/oracle.hpp"
 
+#include "dpor/dpor_checker.hpp"
 #include "litmus/litmus_emitter.hpp"
 #include "litmus/litmus_parser.hpp"
 #include "support/diagnostics.hpp"
@@ -17,6 +18,7 @@ oracleName(OracleKind kind)
       case OracleKind::SessionReuse: return "session-reuse";
       case OracleKind::PortfolioVsSingle: return "portfolio-vs-single";
       case OracleKind::ClauseSharing: return "clause-sharing";
+      case OracleKind::Dpor: return "dpor";
     }
     return "?";
 }
@@ -79,6 +81,7 @@ OracleOptions::only(OracleKind kind) const
     out.sessionReuse = kind == OracleKind::SessionReuse;
     out.portfolioVsSingle = kind == OracleKind::PortfolioVsSingle;
     out.clauseSharing = kind == OracleKind::ClauseSharing;
+    out.dpor = kind == OracleKind::Dpor;
     return out;
 }
 
@@ -336,6 +339,85 @@ clauseSharingOracle(const prog::Program &program,
     return o;
 }
 
+/**
+ * DPOR-vs-SMT differential: the stateless model-checking engine's
+ * condition and race verdicts must match the builtin backend's safety
+ * and CatSpec verdicts. The engine shares the explicit baseline's
+ * support envelope, so unsupported programs (and exhausted exploration
+ * budgets) are reported as skips, never silently as agreement.
+ */
+OracleOutcome
+dporOracle(const prog::Program &program, const cat::CatModel &model,
+           const OracleOptions &options)
+{
+    OracleOutcome o;
+    o.kind = OracleKind::Dpor;
+
+    dpor::DporResult explored;
+    try {
+        dpor::DporOptions dopts;
+        dopts.maxCandidates = options.dporMaxCandidates;
+        dopts.timeoutMs = options.dporTimeoutMs;
+        dpor::DporChecker checker(program, model, dopts);
+        explored = checker.run();
+    } catch (const std::exception &error) {
+        o.verdict = OracleVerdict::Skipped;
+        o.detail = std::string("dpor error: ") + error.what();
+        return o;
+    }
+    if (!explored.supported) {
+        o.verdict = OracleVerdict::Skipped;
+        o.detail = explored.unsupportedReason;
+        return o;
+    }
+    if (explored.timedOut) {
+        o.verdict = OracleVerdict::Skipped;
+        o.detail = "dpor exploration budget exhausted";
+        return o;
+    }
+
+    auto verify = [&](core::Property property) -> EngineRun {
+        core::VerifierOptions vo;
+        vo.backend = smt::BackendKind::Builtin;
+        vo.bound = options.bound;
+        vo.validateWitness = true;
+        vo.solverTimeoutMs = options.solverTimeoutMs;
+        try {
+            core::Verifier verifier(program, model, vo);
+            return EngineRun::of(verifier.check(property));
+        } catch (const FatalError &error) {
+            return EngineRun::failure(error.what());
+        } catch (const std::exception &error) {
+            return EngineRun::failure(error.what());
+        }
+    };
+
+    EngineRun safety = verify(core::Property::Safety);
+    if (!screen(safety, "builtin", o))
+        return o;
+    if (explored.conditionHolds != safety.result.holds) {
+        o.verdict = OracleVerdict::Disagree;
+        o.detail = std::string("dpor=") +
+                   (explored.conditionHolds ? "holds" : "fails") +
+                   " smt=" +
+                   (safety.result.holds ? "holds" : "fails");
+        return o;
+    }
+    if (model.hasFlaggedAxioms()) {
+        EngineRun drf = verify(core::Property::CatSpec);
+        if (!screen(drf, "drf", o))
+            return o;
+        bool smtRace = !drf.result.holds;
+        if (explored.raceFound != smtRace) {
+            o.verdict = OracleVerdict::Disagree;
+            o.detail = std::string("dpor race=") +
+                       (explored.raceFound ? "yes" : "no") +
+                       " smt race=" + (smtRace ? "yes" : "no");
+        }
+    }
+    return o;
+}
+
 OracleReport
 compareOracles(const OracleInputs &inputs, const OracleOptions &options)
 {
@@ -532,6 +614,8 @@ runOracles(const prog::Program &program, const cat::CatModel &model,
         report.outcomes.push_back(
             clauseSharingOracle(program, model, options));
     }
+    if (options.dpor)
+        report.outcomes.push_back(dporOracle(program, model, options));
     return report;
 }
 

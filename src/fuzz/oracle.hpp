@@ -23,6 +23,11 @@
  *                     fully on must agree on holds/unknown with the
  *                     sharing-off baseline — imported clauses must
  *                     never flip a verdict
+ *  - dpor:            the DPOR stateless model-checking engine vs the
+ *                     SMT verdicts (safety and, for flagged models,
+ *                     DRF) — a third, structurally different engine
+ *                     next to smt-vs-explicit; unsupported programs
+ *                     are SKIPPED with the reason
  *
  * The harness can run self-contained (runOracles, used by the shrinker
  * and the tests) or compare results produced elsewhere (compareOracles,
@@ -50,7 +55,8 @@ enum class OracleKind {
     BoundMono,
     SessionReuse,
     PortfolioVsSingle,
-    ClauseSharing
+    ClauseSharing,
+    Dpor
 };
 
 const char *oracleName(OracleKind kind);
@@ -110,9 +116,17 @@ struct OracleOptions {
      * default: it re-verifies every property twice.
      */
     bool clauseSharing = false;
+    /**
+     * DPOR-vs-SMT differential (self-contained in runOracles, like
+     * portfolioVsSingle). Off by default: it re-verifies safety (and
+     * DRF) through a third engine per case.
+     */
+    bool dpor = false;
 
     uint64_t explicitMaxCandidates = 50000;
     double explicitTimeoutMs = 3000;
+    uint64_t dporMaxCandidates = 50000;
+    double dporTimeoutMs = 3000;
     int64_t solverTimeoutMs = 0;
 
     int effectiveZ3Bound() const { return z3Bound > 0 ? z3Bound : bound; }
@@ -206,6 +220,19 @@ OracleOutcome portfolioVsSingleOracle(const prog::Program &program,
 OracleOutcome clauseSharingOracle(const prog::Program &program,
                                   const cat::CatModel &model,
                                   const OracleOptions &options);
+
+/**
+ * Run just the DPOR-vs-SMT differential (self-contained): explore the
+ * program with the DPOR engine and compare its condition verdict with
+ * the builtin backend's safety verdict, and — for flagged models — its
+ * race verdict with the CatSpec verdict. Unsupported programs and
+ * exhausted exploration budgets report SKIPPED with the reason. Used
+ * by runOracles when `options.dpor` is set and by the campaign driver,
+ * which fans it across workers itself.
+ */
+OracleOutcome dporOracle(const prog::Program &program,
+                         const cat::CatModel &model,
+                         const OracleOptions &options);
 
 /** Run every enabled engine sequentially and cross-check. */
 OracleReport runOracles(const prog::Program &program,

@@ -122,6 +122,7 @@ Engine::metricsResponse(const std::string &id) const
         << ",\"result_cache\":{\"hits\":" << rc.hits
         << ",\"misses\":" << rc.misses
         << ",\"evictions\":" << rc.evictions << ",\"size\":" << rc.size
+        << ",\"load_failed\":" << rc.loadFailed
         << "},\"session_cache\":{\"hits\":" << sc.hits
         << ",\"misses\":" << sc.misses
         << ",\"evictions\":" << sc.evictions << ",\"size\":" << sc.size

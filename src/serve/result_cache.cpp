@@ -125,45 +125,72 @@ ResultCache::insert(const ResultKey &key, CachedResult value)
 bool
 ResultCache::saveToFile(const std::string &path) const
 {
-    std::ofstream out(path, std::ios::trunc);
-    if (!out)
-        return false;
-    out << "{\"gpumc_result_cache\":" << kCacheFileVersion
-        << ",\"key_fields\":" << kKeyFields << "}\n";
-    std::lock_guard<std::mutex> lock(mutex_);
-    // Back (LRU) to front (MRU): reloading in file order re-inserts
-    // the most recent entry last, restoring the eviction order.
-    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
-        char solveMs[32];
-        std::snprintf(solveMs, sizeof solveMs, "%.3f",
-                      it->second.solveMs);
-        out << "{\"key\":" << encodeKey(it->first.first)
-            << ",\"property\":" << it->first.second
-            << ",\"holds\":" << (it->second.holds ? "true" : "false")
-            << ",\"detail\":" << jsonString(it->second.detail)
-            << ",\"solve_ms\":" << solveMs << "}\n";
+    // Write everything to a sibling temp file, then rename into
+    // place: rename(2) is atomic within a filesystem, so a reader (or
+    // the next daemon start) only ever sees the old complete file or
+    // the new complete file, never a torn write.
+    const std::string tmpPath = path + ".tmp";
+    {
+        std::ofstream out(tmpPath, std::ios::trunc);
+        if (!out)
+            return false;
+        out << "{\"gpumc_result_cache\":" << kCacheFileVersion
+            << ",\"key_fields\":" << kKeyFields << "}\n";
+        std::lock_guard<std::mutex> lock(mutex_);
+        // Back (LRU) to front (MRU): reloading in file order
+        // re-inserts the most recent entry last, restoring the
+        // eviction order.
+        for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+            char solveMs[32];
+            std::snprintf(solveMs, sizeof solveMs, "%.3f",
+                          it->second.solveMs);
+            out << "{\"key\":" << encodeKey(it->first.first)
+                << ",\"property\":" << it->first.second
+                << ",\"holds\":"
+                << (it->second.holds ? "true" : "false")
+                << ",\"detail\":" << jsonString(it->second.detail)
+                << ",\"solve_ms\":" << solveMs << "}\n";
+        }
+        out.flush();
+        if (!out) {
+            std::remove(tmpPath.c_str());
+            return false;
+        }
     }
-    out.flush();
-    return static_cast<bool>(out);
+    if (std::rename(tmpPath.c_str(), path.c_str()) != 0) {
+        std::remove(tmpPath.c_str());
+        return false;
+    }
+    return true;
 }
 
 bool
 ResultCache::loadFromFile(const std::string &path)
 {
-    auto startCold = [this] {
+    // A missing file is a normal cold start; anything else is a
+    // corrupt or incompatible cache, worth a loud warning — silently
+    // dropping a full cache looks exactly like a performance bug.
+    auto startCold = [this, &path](const char *why) {
         std::lock_guard<std::mutex> lock(mutex_);
         lru_.clear();
         index_.clear();
         hits_ = misses_ = evictions_ = 0;
+        if (why) {
+            loadFailed_++;
+            std::fprintf(stderr,
+                         "gpumc-serve: ignoring result cache '%s' "
+                         "(%s); starting cold\n",
+                         path.c_str(), why);
+        }
         return false;
     };
 
     std::ifstream in(path);
     if (!in)
-        return startCold();
+        return startCold(nullptr);
     std::string line;
     if (!std::getline(in, line))
-        return startCold();
+        return startCold("empty file");
     std::string error;
     JsonValue header = parseJson(line, error);
     const JsonValue *version = header.find("gpumc_result_cache");
@@ -171,7 +198,7 @@ ResultCache::loadFromFile(const std::string &path)
     if (!error.empty() || !version || !fields ||
         version->asInt() != kCacheFileVersion ||
         fields->asInt() != static_cast<int64_t>(kKeyFields))
-        return startCold();
+        return startCold("bad or mismatched header");
 
     while (std::getline(in, line)) {
         if (line.empty())
@@ -187,7 +214,7 @@ ResultCache::loadFromFile(const std::string &path)
             !detail || !solveMs || !property->isNumber() ||
             !holds->isBool() || !detail->isString() ||
             !solveMs->isNumber() || !decodeKey(*keyField, key.first))
-            return startCold();
+            return startCold("malformed entry");
         key.second = static_cast<int>(property->asInt());
         CachedResult value;
         value.holds = holds->boolean;
@@ -211,6 +238,7 @@ ResultCache::counters() const
     c.misses = misses_;
     c.evictions = evictions_;
     c.size = static_cast<int64_t>(lru_.size());
+    c.loadFailed = loadFailed_;
     return c;
 }
 

@@ -54,6 +54,9 @@ class ResultCache {
         int64_t misses = 0;
         int64_t evictions = 0;
         int64_t size = 0;
+        /** Persisted-cache loads rejected as corrupt or mismatched
+         *  (missing files are a normal cold start, not a failure). */
+        int64_t loadFailed = 0;
     };
     Counters counters() const;
 
@@ -64,17 +67,23 @@ class ResultCache {
      * one entry per line, least-recently-used first — reloading in
      * file order restores the LRU order exactly. The 64-bit
      * fingerprints travel as decimal strings: JSON numbers are doubles
-     * and would corrupt them above 2^53. Returns false when the file
-     * cannot be written.
+     * and would corrupt them above 2^53. The file is written to
+     * `path + ".tmp"` and renamed into place, so a crash (or SIGKILL)
+     * mid-save can never leave a truncated cache at @p path — the old
+     * file survives intact. Returns false when the file cannot be
+     * written or the rename fails.
      */
     bool saveToFile(const std::string &path) const;
 
     /**
      * Load entries previously written by saveToFile. Any problem —
-     * missing file, unreadable line, version or key-arity mismatch —
-     * falls back to an *empty* cache and returns false: a persisted
-     * cache is an optimization, never worth refusing to start over.
-     * Counters are reset, so metrics describe this process's traffic.
+     * unreadable line, version or key-arity mismatch — falls back to
+     * an *empty* cache and returns false: a persisted cache is an
+     * optimization, never worth refusing to start over. A corrupt
+     * file is loud about it (one stderr warning + the loadFailed
+     * counter, surfaced as `load_failed` in the metrics endpoint); a
+     * missing file is a normal cold start and stays silent. Counters
+     * are reset, so metrics describe this process's traffic.
      */
     bool loadFromFile(const std::string &path);
 
@@ -88,6 +97,7 @@ class ResultCache {
     int64_t hits_ = 0;
     int64_t misses_ = 0;
     int64_t evictions_ = 0;
+    int64_t loadFailed_ = 0;
 };
 
 } // namespace gpumc::serve

@@ -123,6 +123,67 @@ exists (true)
     EXPECT_LE(r.candidatesExplored, 3u);
 }
 
+TEST(ExplicitChecker, LazyTotalCoRespectsBudget)
+{
+    // Regression: total coherence orders used to be materialized
+    // eagerly before the budget was consulted — eleven same-location
+    // stores mean 11! ~ 40M orders (gigabytes of pair sets, minutes of
+    // setup) before the first candidate was ever evaluated. The lazy
+    // enumerator generates one order at a time and checks the budget
+    // between them, so a 100ms timeout must return promptly.
+    expl::ExplicitOptions options;
+    options.timeoutMs = 100;
+    expl::ExplicitResult r = run(R"(
+VULKAN
+P0@sg 0,wg 0,qf 0 ;
+st.sc0 x, 1  ;
+st.sc0 x, 2  ;
+st.sc0 x, 3  ;
+st.sc0 x, 4  ;
+st.sc0 x, 5  ;
+st.sc0 x, 6  ;
+st.sc0 x, 7  ;
+st.sc0 x, 8  ;
+st.sc0 x, 9  ;
+st.sc0 x, 10 ;
+st.sc0 x, 11 ;
+exists (true)
+)",
+                                 options);
+    ASSERT_TRUE(r.supported);
+    EXPECT_TRUE(r.timedOut);
+    EXPECT_GT(r.candidatesExplored, 0u);
+    EXPECT_LT(r.timeMs, 10000.0);
+}
+
+TEST(ExplicitChecker, SyncFenceSetsDeduplicated)
+{
+    // Two SC fences at CTA scope in *different* CTAs: the sync_fence
+    // upper bound (pairs within reachable scope) is empty, so both
+    // fence permutations produce the same empty sf set. Regression:
+    // each permutation used to be evaluated separately.
+    expl::ExplicitResult pruned = run(R"(
+PTX
+P0@cta 0,gpu 0 | P1@cta 1,gpu 0 ;
+fence.sc.cta   | fence.sc.cta   ;
+exists (true)
+)");
+    ASSERT_TRUE(pruned.supported);
+    EXPECT_TRUE(pruned.conditionHolds);
+    EXPECT_EQ(pruned.candidatesExplored, 1u);
+
+    // Same fences in one CTA: both orders are distinct sf sets and
+    // must still both be explored.
+    expl::ExplicitResult full = run(R"(
+PTX
+P0@cta 0,gpu 0 | P1@cta 0,gpu 0 ;
+fence.sc.cta   | fence.sc.cta   ;
+exists (true)
+)");
+    ASSERT_TRUE(full.supported);
+    EXPECT_EQ(full.candidatesExplored, 2u);
+}
+
 TEST(ExplicitChecker, FilterRestrictsBehaviours)
 {
     expl::ExplicitResult r = run(R"(

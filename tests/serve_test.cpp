@@ -186,6 +186,66 @@ TEST(ResultCache, LoadFallsBackColdOnBadFiles)
     std::remove(path.c_str());
 }
 
+TEST(ResultCache, SaveIsAtomicAndLeavesNoTempFile)
+{
+    const std::string path =
+        ::testing::TempDir() + "gpumc_result_cache_atomic.jsonl";
+    const std::string tmpPath = path + ".tmp";
+    std::remove(path.c_str());
+    std::remove(tmpPath.c_str());
+
+    serve::ResultCache cache(4);
+    serve::CachedResult value;
+    value.holds = true;
+    cache.insert({keyOf(1), 0}, value);
+    ASSERT_TRUE(cache.saveToFile(path));
+    // The temp file was renamed into place, not left behind.
+    EXPECT_FALSE(std::ifstream(tmpPath).good());
+    EXPECT_TRUE(std::ifstream(path).good());
+
+    // A second save over an existing file replaces it wholesale; the
+    // reloaded cache sees exactly the latest contents.
+    cache.insert({keyOf(2), 1}, value);
+    ASSERT_TRUE(cache.saveToFile(path));
+    EXPECT_FALSE(std::ifstream(tmpPath).good());
+    serve::ResultCache reloaded(4);
+    ASSERT_TRUE(reloaded.loadFromFile(path));
+    EXPECT_EQ(reloaded.counters().size, 2);
+    std::remove(path.c_str());
+}
+
+TEST(ResultCache, CorruptLoadIsCountedMissingFileIsNot)
+{
+    const std::string path =
+        ::testing::TempDir() + "gpumc_result_cache_loadfail.jsonl";
+
+    // Missing file: silent cold start, no failure counted.
+    std::remove(path.c_str());
+    serve::ResultCache cache(4);
+    EXPECT_FALSE(cache.loadFromFile(path));
+    EXPECT_EQ(cache.counters().loadFailed, 0);
+
+    // Corrupt file: counted (and warned about on stderr), so a
+    // wiped-out persisted cache shows up in the metrics endpoint
+    // instead of masquerading as a cold start.
+    {
+        std::ofstream out(path);
+        out << "definitely not json\n";
+    }
+    EXPECT_FALSE(cache.loadFromFile(path));
+    EXPECT_EQ(cache.counters().loadFailed, 1);
+
+    // A later successful load keeps the failure count: it describes
+    // this process's history, not the last attempt.
+    serve::ResultCache donor(4);
+    donor.insert({keyOf(1), 0}, serve::CachedResult{});
+    ASSERT_TRUE(donor.saveToFile(path));
+    EXPECT_TRUE(cache.loadFromFile(path));
+    EXPECT_EQ(cache.counters().loadFailed, 1);
+    EXPECT_EQ(cache.counters().size, 1);
+    std::remove(path.c_str());
+}
+
 TEST(SessionPool, CheckoutRemovesAndCheckinEvictsLru)
 {
     serve::SessionPool pool(2);

@@ -43,6 +43,8 @@
 
 #include "cat/model.hpp"
 #include "core/batch_verifier.hpp"
+#include "dpor/dpor_checker.hpp"
+#include "explicit/explicit_checker.hpp"
 #include "litmus/litmus_parser.hpp"
 #include "serve/protocol.hpp"
 #include "support/json.hpp"
@@ -57,9 +59,12 @@ namespace fs = std::filesystem;
 
 namespace {
 
+enum class EngineKind { Smt, Dpor, Explicit };
+
 struct CliOptions {
     std::string dir;
     core::VerifierOptions verifier;
+    EngineKind engine = EngineKind::Smt;
     unsigned jobs = 0; // 0 = hardware concurrency
     bool jsonToStdout = false;
     std::string jsonPath;
@@ -102,6 +107,13 @@ usage()
            "  --clause-share=on|off|cube|session  learned-clause "
            "sharing in\n"
            "                the builtin CDCL solver (default: off)\n"
+           "  --engine=smt|dpor|explicit  verification engine (default: "
+           "smt).\n"
+           "                dpor/explicit answer safety and drf "
+           "directly from\n"
+           "                enumerated executions; liveness "
+           "expectations report\n"
+           "                UNKN under them\n"
            "  --jobs=N      total thread budget shared by batch "
            "workers,\n"
            "                portfolio lanes and cube solvers (default: "
@@ -168,6 +180,12 @@ parseArgs(int argc, char **argv)
             if (!smt::parseClauseShareMode(arg.substr(15),
                                            opts.verifier.clauseShare))
                 usage();
+        } else if (arg == "--engine=smt") {
+            opts.engine = EngineKind::Smt;
+        } else if (arg == "--engine=dpor") {
+            opts.engine = EngineKind::Dpor;
+        } else if (arg == "--engine=explicit") {
+            opts.engine = EngineKind::Explicit;
         } else if (arg == "--fresh-sessions") {
             opts.freshSessions = true;
         } else if (startsWith(arg, "--server=")) {
@@ -194,8 +212,88 @@ parseArgs(int argc, char **argv)
             usage();
         }
     }
+    if (opts.engine != EngineKind::Smt && !opts.server.empty()) {
+        std::cerr << "gpumc-corpus: --server only supports "
+                     "--engine=smt\n";
+        usage();
+    }
     opts.verifier.wantWitness = false;
     return opts;
+}
+
+/**
+ * Phase-2 alternative for --engine=dpor/--engine=explicit: answer each
+ * safety / drf query from one enumerative exploration per file x model
+ * (sequentially — the engines are single-run, not query-incremental).
+ * Liveness queries and unsupported or budget-exhausted runs report
+ * UNKN, matching how solver budget exhaustion is reported.
+ */
+void
+runEnumerativeEngine(const CliOptions &opts,
+                     const std::vector<core::BatchJob> &batch,
+                     std::vector<core::BatchEntry> &entries)
+{
+    for (size_t i = 0; i < batch.size(); ++i) {
+        const core::BatchJob &job = batch[i];
+        core::BatchEntry &entry = entries[i];
+        entry.label = job.label;
+        entry.result.property = job.property;
+        if (job.property == core::Property::Liveness) {
+            entry.result.unknown = true;
+            entry.result.detail =
+                "liveness is not supported by the enumerative engines";
+            continue;
+        }
+        bool supported, timedOut, conditionHolds, raceFound;
+        std::string reason;
+        double timeMs;
+        uint64_t candidates;
+        if (opts.engine == EngineKind::Dpor) {
+            dpor::DporOptions options;
+            options.timeoutMs = static_cast<double>(
+                opts.verifier.solverTimeoutMs);
+            dpor::DporChecker checker(*job.program, *job.model,
+                                      options);
+            dpor::DporResult r = checker.run();
+            supported = r.supported;
+            timedOut = r.timedOut;
+            conditionHolds = r.conditionHolds;
+            raceFound = r.raceFound;
+            reason = r.unsupportedReason;
+            timeMs = r.timeMs;
+            candidates = r.candidatesExplored;
+        } else {
+            expl::ExplicitOptions options;
+            options.timeoutMs = static_cast<double>(
+                opts.verifier.solverTimeoutMs);
+            expl::ExplicitChecker checker(*job.program, *job.model,
+                                          options);
+            expl::ExplicitResult r = checker.run();
+            supported = r.supported;
+            timedOut = r.timedOut;
+            conditionHolds = r.conditionHolds;
+            raceFound = r.raceFound;
+            reason = r.unsupportedReason;
+            timeMs = r.timeMs;
+            candidates = r.candidatesExplored;
+        }
+        entry.result.timeMs = timeMs;
+        if (!supported) {
+            entry.result.unknown = true;
+            entry.result.detail = "unsupported: " + reason;
+        } else if (timedOut) {
+            entry.result.unknown = true;
+            entry.result.detail = "exploration budget exhausted after " +
+                                  std::to_string(candidates) +
+                                  " candidates";
+        } else {
+            entry.result.holds = job.property == core::Property::Safety
+                                     ? conditionHolds
+                                     : !raceFound;
+            entry.result.detail =
+                std::to_string(candidates) + " candidates explored";
+        }
+    }
 }
 
 std::string
@@ -604,7 +702,10 @@ main(int argc, char **argv)
     core::BatchVerifier engine(opts.jobs);
     Stopwatch wall;
     std::vector<core::BatchEntry> entries;
-    if (opts.server.empty()) {
+    if (opts.engine != EngineKind::Smt) {
+        entries.resize(batch.size());
+        runEnumerativeEngine(opts, batch, entries);
+    } else if (opts.server.empty()) {
         entries = engine.run(batch);
     } else {
         entries.resize(batch.size());

@@ -8,14 +8,16 @@
  * --portfolio a sixth comparing the racing portfolio backend against
  * both single backends, and with --clause-sharing a seventh comparing
  * the builtin backend with learned-clause sharing on against the
- * sharing-off baseline; disagreements are delta-debugged into minimal
- * `.litmus` repro files.
+ * sharing-off baseline, and with --dpor an eighth comparing the DPOR
+ * stateless model-checking engine against the SMT verdicts;
+ * disagreements are delta-debugged into minimal `.litmus` repro files.
  *
  *   gpumc-fuzz [--seed=N] [--runs=N] [--jobs=N] [--arch=ptx|vulkan|both]
  *              [--profile=basic|cf|full] [--bound=N] [--out-dir=DIR]
  *              [--inject=bound-gap] [--no-shrink] [--max-shrinks=N]
  *              [--timeout=MS] [--verify-determinism]
  *              [--session-reuse] [--portfolio] [--clause-sharing]
+ *              [--dpor]
  *
  * The verdict log is deterministic for a fixed seed: identical across
  * runs and across --jobs values (SMT queries are fanned out through
@@ -58,6 +60,7 @@ struct CliOptions {
     bool sessionReuse = false;
     bool portfolio = false;
     bool clauseSharing = false;
+    bool dpor = false;
     bool shrink = true;
     int maxShrinks = 3;
     int shrinkAttempts = 400;
@@ -92,6 +95,9 @@ usage()
            "  --clause-sharing  also cross-check the builtin backend\n"
            "                    with learned-clause sharing on against\n"
            "                    the sharing-off baseline\n"
+           "  --dpor            also cross-check every case through the\n"
+           "                    DPOR stateless model-checking engine\n"
+           "                    against the builtin SMT verdicts\n"
            "  --no-shrink       report disagreements without shrinking\n"
            "  --max-shrinks=N   disagreeing cases to shrink (default 3)\n"
            "  --shrink-attempts=N  predicate budget per shrink "
@@ -156,6 +162,8 @@ parseArgs(int argc, char **argv)
             opts.portfolio = true;
         } else if (arg == "--clause-sharing") {
             opts.clauseSharing = true;
+        } else if (arg == "--dpor") {
+            opts.dpor = true;
         } else if (arg == "--no-shrink") {
             opts.shrink = false;
         } else if (startsWith(arg, "--max-shrinks=")) {
@@ -217,6 +225,7 @@ campaignOptions(const CliOptions &opts, prog::Arch arch,
     co.oracle.sessionReuse = opts.sessionReuse;
     co.oracle.portfolioVsSingle = opts.portfolio;
     co.oracle.clauseSharing = opts.clauseSharing;
+    co.oracle.dpor = opts.dpor;
     co.oracle.solverTimeoutMs = opts.solverTimeoutMs;
     co.shrink = opts.shrink;
     co.maxShrinks = opts.maxShrinks;

@@ -20,6 +20,7 @@
 
 #include "cat/model.hpp"
 #include "core/verifier.hpp"
+#include "dpor/dpor_checker.hpp"
 #include "explicit/explicit_checker.hpp"
 #include "litmus/litmus_parser.hpp"
 #include "spirv/spirv_parser.hpp"
@@ -30,13 +31,15 @@ namespace {
 
 using namespace gpumc;
 
+enum class Engine { Smt, Dpor, Explicit };
+
 struct CliOptions {
     std::string inputPath;
     std::string modelPath;
     core::Property property = core::Property::Safety;
     bool allProperties = false;
     core::VerifierOptions verifier;
-    bool useExplicit = false;
+    Engine engine = Engine::Smt;
     bool printWitness = false;
     std::string dotPath;
     std::string tracePath;
@@ -72,8 +75,12 @@ usage()
         "                     pipeline (chrome://tracing, Perfetto)\n"
         "  --metrics=FILE     write flat metrics JSON (counters + span\n"
         "                     aggregates)\n"
-        "  --explicit         use the explicit-state (Alloy-like) "
-        "checker\n";
+        "  --engine=smt|dpor|explicit\n"
+        "                     smt: bounded SMT encoding (default)\n"
+        "                     dpor: stateless model checking with\n"
+        "                     incremental graph construction\n"
+        "                     explicit: enumerate-everything baseline\n"
+        "  --explicit         alias for --engine=explicit\n";
     std::exit(2);
 }
 
@@ -153,8 +160,18 @@ parseArgs(int argc, char **argv)
             opts.tracePath = value;
         } else if (key == "metrics") {
             opts.metricsPath = value;
+        } else if (key == "engine") {
+            if (value == "smt") {
+                opts.engine = Engine::Smt;
+            } else if (value == "dpor") {
+                opts.engine = Engine::Dpor;
+            } else if (value == "explicit") {
+                opts.engine = Engine::Explicit;
+            } else {
+                usage();
+            }
         } else if (key == "explicit") {
-            opts.useExplicit = true;
+            opts.engine = Engine::Explicit;
         } else {
             usage();
         }
@@ -186,6 +203,42 @@ runExplicit(const prog::Program &program, const cat::CatModel &model)
 }
 
 int
+runDpor(const prog::Program &program, const cat::CatModel &model,
+        const CliOptions &opts)
+{
+    dpor::DporOptions options;
+    options.timeoutMs =
+        static_cast<double>(opts.verifier.solverTimeoutMs);
+    dpor::DporChecker checker(program, model, options);
+    dpor::DporResult result = checker.run();
+    if (!result.supported) {
+        std::cout << "UNSUPPORTED: " << result.unsupportedReason << "\n";
+        return 3;
+    }
+    if (result.timedOut) {
+        std::cout << "result: UNKNOWN (exploration budget exhausted "
+                  << "after " << result.candidatesExplored
+                  << " candidates)\n";
+        return 3;
+    }
+    std::cout << "dpor engine: " << result.consistentBehaviours
+              << " consistent behaviours seen, "
+              << result.candidatesExplored << " candidates\n"
+              << "condition "
+              << (result.conditionHolds ? "HOLDS" : "FAILS") << "\n"
+              << "data race: " << (result.raceFound ? "YES" : "NO")
+              << "\n"
+              << "exploration: " << result.rfBranches
+              << " rf branches, " << result.prunedRfPrefixes
+              << " rf prefixes pruned, " << result.prunedCoBranches
+              << " co branches pruned, " << result.prunedSubtrees
+              << " subtrees pruned, " << result.earlyStops
+              << " early stops\n"
+              << "time: " << result.timeMs << " ms\n";
+    return 0;
+}
+
+int
 runTool(const CliOptions &opts)
 {
     prog::Program program;
@@ -202,8 +255,10 @@ runTool(const CliOptions &opts)
               << program.numThreads() << " threads)\n"
               << "model: " << model.name() << "\n";
 
-    if (opts.useExplicit)
+    if (opts.engine == Engine::Explicit)
         return runExplicit(program, model);
+    if (opts.engine == Engine::Dpor)
+        return runDpor(program, model, opts);
 
     core::Verifier verifier(program, model, opts.verifier);
 
